@@ -1,0 +1,29 @@
+//! Baseline atomic multicast protocols from the paper's evaluation (§5.1).
+//!
+//! The paper compares FlexCast against one representative of each other
+//! protocol class in Table 1:
+//!
+//! * [`skeen`] — Skeen's protocol, the classic *genuine distributed*
+//!   atomic multicast: destinations exchange logical timestamps and
+//!   deliver in final-timestamp order. With single-process groups,
+//!   FastCast and WhiteBox behave like Skeen, which makes it the right
+//!   stand-in for the whole family. Two communication steps, which is
+//!   optimal for this class.
+//! * [`hier`] — a ByzCast-style *non-genuine hierarchical* protocol:
+//!   messages go to the tree lowest-common-ancestor of their destinations
+//!   and flow down the tree, ordered at every visited group — including
+//!   groups that are not destinations, which is the communication
+//!   overhead quantified in Figures 1 and 9.
+//!
+//! Both engines are sans-io state machines with the same `Output` shape as
+//! `flexcast_core`, so the simulator and harness drive all three protocols
+//! through one interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hier;
+pub mod skeen;
+
+pub use hier::{HierGroup, HierPacket};
+pub use skeen::{SkeenGroup, SkeenPacket};

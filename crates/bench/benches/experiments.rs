@@ -1,0 +1,155 @@
+//! End-to-end experiment benchmarks: one Criterion group per paper
+//! artifact, running a shortened version of the corresponding experiment
+//! (full-length runs are the `fig*` binaries). These track the wall-clock
+//! cost of regenerating each figure/table and guard against performance
+//! regressions in the simulator and engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexcast_gtpcc::WorkloadMode;
+use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
+use flexcast_overlay::presets;
+use flexcast_sim::SimTime;
+use std::hint::black_box;
+
+fn short(protocol: ProtocolKind, locality: f64, mode: WorkloadMode) -> ExperimentConfig {
+    ExperimentConfig {
+        protocol,
+        locality,
+        mode,
+        n_clients: 12,
+        duration: SimTime::from_secs(1),
+        seed: 1,
+        jitter_ms: 2.0,
+        flush_period: Some(SimTime::from_ms(250.0)),
+        server_service_ms: 0.05,
+        server_processing_ms: 20.0,
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_overhead");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("t1", |b| {
+        let cfg = short(
+            ProtocolKind::Hierarchical(presets::t1()),
+            0.90,
+            WorkloadMode::GlobalOnly,
+        );
+        b.iter(|| black_box(run(&cfg).completed));
+    });
+    g.finish();
+}
+
+fn bench_fig5_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_table2_overlays");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("flexcast_o1", |b| {
+        let cfg = short(
+            ProtocolKind::FlexCast(presets::o1()),
+            0.90,
+            WorkloadMode::GlobalOnly,
+        );
+        b.iter(|| black_box(run(&cfg).completed));
+    });
+    g.bench_function("flexcast_o2", |b| {
+        let cfg = short(
+            ProtocolKind::FlexCast(presets::o2()),
+            0.90,
+            WorkloadMode::GlobalOnly,
+        );
+        b.iter(|| black_box(run(&cfg).completed));
+    });
+    g.bench_function("hier_t3", |b| {
+        let cfg = short(
+            ProtocolKind::Hierarchical(presets::t3()),
+            0.90,
+            WorkloadMode::GlobalOnly,
+        );
+        b.iter(|| black_box(run(&cfg).completed));
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_throughput");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (label, mk) in [
+        ("distributed", ProtocolKind::Distributed),
+        ("flexcast", ProtocolKind::FlexCast(presets::o1())),
+    ] {
+        g.bench_function(label, |b| {
+            let cfg = short(mk.clone(), 0.99, WorkloadMode::Full);
+            b.iter(|| black_box(run(&cfg).throughput_tps));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_table3_locality");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for loc in [90u32, 99] {
+        g.bench_function(format!("flexcast_loc{loc}"), |b| {
+            let cfg = short(
+                ProtocolKind::FlexCast(presets::o1()),
+                loc as f64 / 100.0,
+                WorkloadMode::GlobalOnly,
+            );
+            b.iter(|| black_box(run(&cfg).completed));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_traffic");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("flexcast_traffic", |b| {
+        let cfg = short(
+            ProtocolKind::FlexCast(presets::o1()),
+            0.99,
+            WorkloadMode::GlobalOnly,
+        );
+        b.iter(|| {
+            let r = run(&cfg);
+            black_box(r.per_node.iter().map(|n| n.kbytes_per_sec).sum::<f64>())
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig9_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_table4_tree_overhead");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (label, tree) in [("t1", presets::t1()), ("t3", presets::t3())] {
+        g.bench_function(label, |b| {
+            let cfg = short(
+                ProtocolKind::Hierarchical(tree.clone()),
+                0.95,
+                WorkloadMode::GlobalOnly,
+            );
+            b.iter(|| {
+                let r = run(&cfg);
+                black_box(r.per_node.iter().map(|n| n.overhead).sum::<f64>())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig5_table2,
+    bench_fig6,
+    bench_fig7_table3,
+    bench_fig8,
+    bench_fig9_table4
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Engine-level benchmarks: how fast each protocol orders a stream of
+//! multicast messages with all networking stripped away. This isolates
+//! the CPU cost of the ordering logic the paper's protocols differ in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexcast_baselines::{hier, skeen, HierGroup, SkeenGroup};
+use flexcast_core::{FlexCastGroup, Output as FlexOutput};
+use flexcast_overlay::presets;
+use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId, Payload};
+use std::hint::black_box;
+
+const N_GROUPS: u16 = 12;
+
+fn workload(n: u32) -> Vec<Message> {
+    // Deterministic two-destination messages walking the rank space, the
+    // common case under high locality.
+    (0..n)
+        .map(|s| {
+            let a = (s % (N_GROUPS as u32 - 1)) as u16;
+            Message::new(
+                MsgId::new(ClientId(1), s),
+                DestSet::from_iter([GroupId(a), GroupId(a + 1)]),
+                Payload::zeroes(64),
+            )
+            .expect("valid")
+        })
+        .collect()
+}
+
+/// Runs a message stream through a full in-memory FlexCast deployment,
+/// routing packets synchronously. Returns total deliveries.
+fn run_flexcast(msgs: &[Message]) -> u64 {
+    let mut engines: Vec<FlexCastGroup> = (0..N_GROUPS)
+        .map(|g| FlexCastGroup::new(GroupId(g), N_GROUPS))
+        .collect();
+    let mut delivered = 0u64;
+    let mut frontier: Vec<(GroupId, GroupId, flexcast_core::Packet)> = Vec::new();
+    for m in msgs {
+        let lca = m.lca();
+        let mut out = Vec::new();
+        engines[lca.index()].on_client(m.clone(), &mut out);
+        for o in out {
+            match o {
+                FlexOutput::Deliver(_) => delivered += 1,
+                FlexOutput::Send { to, pkt } => frontier.push((lca, to, pkt)),
+            }
+        }
+        while let Some((from, to, pkt)) = frontier.pop() {
+            let mut out = Vec::new();
+            engines[to.index()].on_packet(from, pkt, &mut out);
+            for o in out {
+                match o {
+                    FlexOutput::Deliver(_) => delivered += 1,
+                    FlexOutput::Send { to: next, pkt } => frontier.push((to, next, pkt)),
+                }
+            }
+        }
+    }
+    delivered
+}
+
+fn run_skeen(msgs: &[Message]) -> u64 {
+    let mut engines: Vec<SkeenGroup> =
+        (0..N_GROUPS).map(|g| SkeenGroup::new(GroupId(g))).collect();
+    let mut delivered = 0u64;
+    let mut frontier: Vec<(GroupId, GroupId, flexcast_baselines::SkeenPacket)> = Vec::new();
+    for m in msgs {
+        for d in m.dst.iter() {
+            let mut out = Vec::new();
+            engines[d.index()].on_client(m.clone(), &mut out);
+            for o in out {
+                match o {
+                    skeen::Output::Deliver(_) => delivered += 1,
+                    skeen::Output::Send { to, pkt } => frontier.push((d, to, pkt)),
+                }
+            }
+        }
+        while let Some((from, to, pkt)) = frontier.pop() {
+            let mut out = Vec::new();
+            engines[to.index()].on_packet(from, pkt, &mut out);
+            for o in out {
+                match o {
+                    skeen::Output::Deliver(_) => delivered += 1,
+                    skeen::Output::Send { to: next, pkt } => frontier.push((to, next, pkt)),
+                }
+            }
+        }
+    }
+    delivered
+}
+
+fn run_hier(msgs: &[Message]) -> u64 {
+    let tree = presets::t1();
+    let mut engines: Vec<HierGroup> = (0..N_GROUPS)
+        .map(|g| HierGroup::new(GroupId(g), tree.clone()))
+        .collect();
+    let mut delivered = 0u64;
+    for m in msgs {
+        let entry = HierGroup::entry_point(&tree, m);
+        let mut frontier = vec![(entry, flexcast_baselines::HierPacket(m.clone()))];
+        while let Some((g, pkt)) = frontier.pop() {
+            let mut out = Vec::new();
+            engines[g.index()].on_packet(GroupId(0), pkt, &mut out);
+            for o in out {
+                match o {
+                    hier::Output::Deliver(_) => delivered += 1,
+                    hier::Output::Send { to, pkt } => frontier.push((to, pkt)),
+                }
+            }
+        }
+    }
+    delivered
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_ordering");
+    for &n in &[100u32, 1000] {
+        let msgs = workload(n);
+        g.bench_with_input(BenchmarkId::new("flexcast", n), &msgs, |b, msgs| {
+            b.iter(|| black_box(run_flexcast(msgs)));
+        });
+        g.bench_with_input(BenchmarkId::new("skeen", n), &msgs, |b, msgs| {
+            b.iter(|| black_box(run_skeen(msgs)));
+        });
+        g.bench_with_input(BenchmarkId::new("hierarchical", n), &msgs, |b, msgs| {
+            b.iter(|| black_box(run_hier(msgs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

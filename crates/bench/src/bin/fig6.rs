@@ -1,0 +1,33 @@
+//! Figure 6: throughput vs number of clients, full gTPC-C (local and
+//! global messages) at 99 % locality, for all three protocols.
+
+use flexcast_bench::{quick_mode, run_checked};
+use flexcast_harness::{ExperimentConfig, ProtocolKind};
+use flexcast_overlay::presets;
+
+fn main() {
+    let client_counts: Vec<usize> = if quick_mode() {
+        vec![24, 96]
+    } else {
+        vec![24, 240, 480, 720, 960, 1200, 1440]
+    };
+    let protocols: Vec<(&str, fn() -> ProtocolKind)> = vec![
+        ("Distributed", || ProtocolKind::Distributed),
+        ("Hierarchical", || {
+            ProtocolKind::Hierarchical(presets::t1())
+        }),
+        ("FlexCast", || ProtocolKind::FlexCast(presets::o1())),
+    ];
+
+    println!("# Figure 6 — throughput (kops/sec) vs clients, 99% locality, full gTPC-C");
+    println!("# clients {}", protocols.iter().map(|(l, _)| *l).collect::<Vec<_>>().join(" "));
+    for &n in &client_counts {
+        let mut row = format!("{n:>6}");
+        for (_, mk) in &protocols {
+            let cfg = ExperimentConfig::throughput(mk(), n);
+            let result = run_checked(&cfg);
+            row.push_str(&format!(" {:8.2}", result.throughput_tps / 1000.0));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 7 + Table 3: latency per destination group when varying the
+//! locality rate (90 / 95 / 99 %), for FlexCast (O1), the hierarchical
+//! protocol (T1), and the distributed protocol (Skeen).
+
+use flexcast_bench::{maybe_quick, print_cdf, print_latency_result, run_checked};
+use flexcast_harness::{ExperimentConfig, ProtocolKind};
+use flexcast_overlay::presets;
+
+fn main() {
+    let localities = [0.90, 0.95, 0.99];
+    let protocols: Vec<(&str, fn() -> ProtocolKind)> = vec![
+        ("FlexCast", || ProtocolKind::FlexCast(presets::o1())),
+        ("Hierarchical", || {
+            ProtocolKind::Hierarchical(presets::t1())
+        }),
+        ("Distributed", || ProtocolKind::Distributed),
+    ];
+
+    println!("# Figure 7 + Table 3 — latency per destination vs locality");
+    for &loc in &localities {
+        println!("\n## locality {:.0}%", loc * 100.0);
+        let mut results = Vec::new();
+        for (label, mk) in &protocols {
+            let cfg = maybe_quick(ExperimentConfig::latency(mk(), loc));
+            let result = run_checked(&cfg);
+            results.push((*label, result));
+        }
+        println!(" Table 3 rows (ms):");
+        for (label, result) in &mut results {
+            print_latency_result(label, result);
+        }
+        println!(" Figure 7 CDF series:");
+        for rank in 1..=3usize {
+            println!("  destination {rank}:");
+            for (label, result) in &mut results {
+                if let Some(summary) = result.latency_by_rank.get_mut(rank - 1) {
+                    print_cdf(label, summary);
+                }
+            }
+        }
+    }
+}

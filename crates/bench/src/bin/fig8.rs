@@ -1,0 +1,83 @@
+//! Figure 8: the cost of exchanging histories — messages received per
+//! second, average message size, and KB/s per node, for each protocol at
+//! 99 % locality with 720 clients.
+//!
+//! Nodes print in the paper's x-axis order: the C-DAG O1 rank order for
+//! FlexCast and Distributed, the T1 breadth-first order for Hierarchical.
+
+use flexcast_bench::quick_mode;
+use flexcast_gtpcc::WorkloadMode;
+use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
+use flexcast_overlay::{presets, Tree};
+use flexcast_sim::SimTime;
+use flexcast_types::GroupId;
+
+fn bfs_order(tree: &Tree) -> Vec<GroupId> {
+    let mut order = vec![tree.root()];
+    let mut i = 0;
+    while i < order.len() {
+        order.extend(tree.children(order[i]).iter().copied());
+        i += 1;
+    }
+    order
+}
+
+fn main() {
+    let n_clients = if quick_mode() { 48 } else { 720 };
+    let o1 = presets::o1();
+    let t1 = presets::t1();
+    let flex_axis: Vec<GroupId> = o1.order().to_vec();
+    let hier_axis = bfs_order(&t1);
+
+    let runs: Vec<(&str, ProtocolKind, Vec<GroupId>)> = vec![
+        ("FlexCast", ProtocolKind::FlexCast(o1), flex_axis.clone()),
+        ("Hierarchical", ProtocolKind::Hierarchical(t1), hier_axis),
+        ("Distributed", ProtocolKind::Distributed, flex_axis),
+    ];
+
+    println!("# Figure 8 — information exchanged per node (99% locality, {n_clients} clients)");
+    let mut totals = Vec::new();
+    for (label, protocol, axis) in runs {
+        let cfg = ExperimentConfig {
+            protocol,
+            locality: 0.99,
+            mode: WorkloadMode::GlobalOnly,
+            n_clients,
+            duration: if quick_mode() {
+                SimTime::from_secs(3)
+            } else {
+                SimTime::from_secs(15)
+            },
+            seed: 1,
+            jitter_ms: 2.0,
+            flush_period: Some(SimTime::from_ms(250.0)),
+            server_service_ms: 0.05,
+            server_processing_ms: 20.0,
+        };
+        let result = run(&cfg);
+        result.check.assert_ok();
+
+        println!("\n## {label}");
+        println!("# node msgs/s avg_bytes KB/s");
+        let mut kbps_sum = 0.0;
+        for node in &axis {
+            let s = &result.per_node[node.index()];
+            kbps_sum += s.kbytes_per_sec;
+            println!(
+                "{:>3} {:8.1} {:8.1} {:8.2}",
+                node.rank() + 1,
+                s.msgs_per_sec,
+                s.avg_msg_bytes,
+                s.kbytes_per_sec
+            );
+        }
+        let avg = kbps_sum / result.per_node.len() as f64;
+        println!("average KB/s per node: {avg:.2}");
+        totals.push((label, avg));
+    }
+
+    println!("\n# Paper reference: distributed 68.5 KB/s, hierarchical 66 KB/s, FlexCast 79 KB/s per node");
+    for (label, avg) in totals {
+        println!("{label}: {avg:.2} KB/s per node");
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 9 + Table 4: communication overhead per group for hierarchical
+//! trees T1/T2/T3 when varying the locality rate (90 / 95 / 99 %), plus
+//! the mean/stddev/max summary of Table 4.
+
+use flexcast_bench::{maybe_quick, run_checked};
+use flexcast_gtpcc::WorkloadMode;
+use flexcast_harness::{ExperimentConfig, ProtocolKind};
+use flexcast_overlay::presets;
+
+fn main() {
+    let trees = [
+        ("T1", presets::t1()),
+        ("T2", presets::t2()),
+        ("T3", presets::t3()),
+    ];
+    let localities = [0.90, 0.95, 0.99];
+
+    println!("# Figure 9 + Table 4 — hierarchical overhead per group vs tree and locality");
+    println!("\n## Table 4");
+    println!("# tree locality mean% stddev max%");
+    let mut per_group_sections = String::new();
+    for (name, tree) in &trees {
+        for &loc in &localities {
+            let mut cfg = maybe_quick(ExperimentConfig::latency(
+                ProtocolKind::Hierarchical(tree.clone()),
+                loc,
+            ));
+            cfg.mode = WorkloadMode::Full;
+            let result = run_checked(&cfg);
+            let oh: Vec<f64> = result.per_node.iter().map(|n| n.overhead * 100.0).collect();
+            let mean = oh.iter().sum::<f64>() / oh.len() as f64;
+            let var = oh.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / oh.len() as f64;
+            let max = oh.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "{name} {:>3.0}% {mean:6.2} ({:5.2}) {max:6.2}",
+                loc * 100.0,
+                var.sqrt()
+            );
+            // Figure 9 per-group series (95% and 99% in the paper; we
+            // print all localities).
+            per_group_sections.push_str(&format!(
+                "\n# Figure 9 — {name} @ {:.0}% locality: ",
+                loc * 100.0
+            ));
+            let cells: Vec<String> = oh
+                .iter()
+                .enumerate()
+                .map(|(g, v)| format!("{}:{v:.1}", g + 1))
+                .collect();
+            per_group_sections.push_str(&cells.join(" "));
+        }
+    }
+    println!("{per_group_sections}");
+}

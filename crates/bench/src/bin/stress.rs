@@ -1,0 +1,92 @@
+//! Randomized stress sweep: runs every protocol across overlays, seeds,
+//! jitter, and garbage-collection settings, asserting the full atomic
+//! multicast property suite (validity, agreement, integrity, prefix
+//! order, acyclic order) on every trace. This is the harness that caught
+//! the notifList race documented in `flexcast-core`'s engine module.
+
+use flexcast_gtpcc::WorkloadMode;
+use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
+use flexcast_overlay::presets;
+use flexcast_sim::SimTime;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: Vec<u64> = if quick { (0..3).collect() } else { (0..10).collect() };
+    let protocols: Vec<(String, ProtocolKind)> = vec![
+        ("FlexCast O1".into(), ProtocolKind::FlexCast(presets::o1())),
+        ("FlexCast O2".into(), ProtocolKind::FlexCast(presets::o2())),
+        ("Hier T1".into(), ProtocolKind::Hierarchical(presets::t1())),
+        ("Hier T2".into(), ProtocolKind::Hierarchical(presets::t2())),
+        ("Hier T3".into(), ProtocolKind::Hierarchical(presets::t3())),
+        ("Distributed".into(), ProtocolKind::Distributed),
+    ];
+    let mut runs = 0u32;
+    let mut failures = 0u32;
+    for (name, protocol) in &protocols {
+        for &seed in &seeds {
+            for &jitter in &[0.0, 10.0] {
+                for &flush in &[None, Some(SimTime::from_ms(300.0))] {
+                    let cfg = ExperimentConfig {
+                        protocol: protocol.clone(),
+                        locality: 0.9,
+                        mode: if seed % 2 == 0 {
+                            WorkloadMode::GlobalOnly
+                        } else {
+                            WorkloadMode::Full
+                        },
+                        n_clients: 12 + (seed as usize % 3) * 12,
+                        duration: SimTime::from_secs(2),
+                        seed,
+                        jitter_ms: jitter,
+                        flush_period: flush,
+                        server_service_ms: 0.05,
+                        server_processing_ms: 20.0,
+                    };
+                    let r = run(&cfg);
+                    runs += 1;
+                    if !r.check.all_ok() {
+                        failures += 1;
+                        println!(
+                            "FAIL {name} seed={seed} jitter={jitter} flush={flush:?}: \
+                             acyclic={} validity={} prefix={} integrity={}",
+                            r.check.acyclic,
+                            r.check.validity_violations.len(),
+                            r.check.prefix_violations.len(),
+                            r.check.integrity_violations.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Long-run configuration: many flush epochs over sparse C-DAG pairs,
+    // the regime that exposed the tombstone-expiry bug (DESIGN.md §9).
+    if !quick {
+        for (name, order) in [("O1", presets::o1()), ("O2", presets::o2())] {
+            let cfg = ExperimentConfig {
+                protocol: ProtocolKind::FlexCast(order),
+                locality: 0.9,
+                mode: WorkloadMode::GlobalOnly,
+                n_clients: 240,
+                duration: SimTime::from_secs(15),
+                seed: 1,
+                jitter_ms: 2.0,
+                flush_period: Some(SimTime::from_ms(250.0)),
+                server_service_ms: 0.05,
+                server_processing_ms: 20.0,
+            };
+            let r = run(&cfg);
+            runs += 1;
+            if !r.check.all_ok() {
+                failures += 1;
+                println!(
+                    "FAIL long-run {name}: acyclic={} validity={}",
+                    r.check.acyclic,
+                    r.check.validity_violations.len()
+                );
+            }
+        }
+    }
+    println!("stress sweep: {runs} runs, {failures} failures");
+    assert_eq!(failures, 0, "property violations found");
+}

@@ -1,0 +1,97 @@
+//! Shared reporting helpers for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one figure or table of the paper
+//! (see DESIGN.md §6 for the experiment index). They print the same rows
+//! and series the paper plots: CDFs as `(x, F(x))` pairs, percentile
+//! tables as `90p 95p 99p` rows, and per-node bar-chart values. All
+//! binaries accept `--quick` to run a shortened configuration (used by CI
+//! and the workspace tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flexcast_harness::{ExperimentConfig, ExperimentResult};
+use flexcast_sim::{SimTime, Summary};
+
+/// Standard CDF sampling points for the latency figures (ms), matching
+/// the paper's 50–400 ms x-axis with extra headroom.
+pub fn cdf_points() -> Vec<f64> {
+    (0..=40).map(|i| 25.0 * i as f64).collect()
+}
+
+/// Prints a CDF series for one curve of a latency figure.
+pub fn print_cdf(label: &str, summary: &mut Summary) {
+    if summary.is_empty() {
+        println!("  {label:<24} (no samples)");
+        return;
+    }
+    let pts = summary.cdf_at(&cdf_points());
+    let series: Vec<String> = pts
+        .iter()
+        .filter(|(_, f)| *f > 0.0)
+        .map(|(x, f)| format!("{x:.0}:{f:.3}"))
+        .collect();
+    println!("  {label:<24} n={:<6} {}", summary.len(), series.join(" "));
+}
+
+/// Prints one `90p 95p 99p` row of a percentile table.
+pub fn print_percentiles(label: &str, summary: &mut Summary) {
+    match summary.p90_p95_p99() {
+        Some((p90, p95, p99)) => {
+            println!("  {label:<24} 90p={p90:8.1}  95p={p95:8.1}  99p={p99:8.1}  (n={})", summary.len())
+        }
+        None => println!("  {label:<24} (no samples)"),
+    }
+}
+
+/// Prints the per-destination sections (1st/2nd/3rd response) the latency
+/// figures and tables report.
+pub fn print_latency_result(label: &str, result: &mut ExperimentResult) {
+    for rank in 1..=3 {
+        let n = result
+            .latency_by_rank
+            .get(rank - 1)
+            .map(|s| s.len())
+            .unwrap_or(0);
+        if n == 0 {
+            continue;
+        }
+        let full = format!("{label} dest{rank}");
+        print_percentiles(&full, &mut result.latency_by_rank[rank - 1]);
+    }
+}
+
+/// True when `--quick` was passed: binaries shrink durations and client
+/// counts so the whole suite runs in seconds.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Applies the quick-mode shrink to a config.
+pub fn maybe_quick(mut cfg: ExperimentConfig) -> ExperimentConfig {
+    if quick_mode() {
+        cfg.n_clients = cfg.n_clients.clamp(12, 48);
+        cfg.duration = SimTime::from_secs(3);
+    }
+    cfg
+}
+
+/// Runs a config, asserts the atomic multicast properties on the trace,
+/// and returns the result.
+pub fn run_checked(cfg: &ExperimentConfig) -> ExperimentResult {
+    let result = flexcast_harness::run(cfg);
+    result.check.assert_ok();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_points_cover_the_paper_axis() {
+        let pts = cdf_points();
+        assert_eq!(pts.first(), Some(&0.0));
+        assert!(*pts.last().unwrap() >= 400.0);
+    }
+}

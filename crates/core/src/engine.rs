@@ -1,0 +1,1342 @@
+//! The FlexCast group engine (Algorithms 1–3 of the paper).
+//!
+//! One [`FlexCastGroup`] instance embodies one group of the C-DAG overlay,
+//! identified by its rank. The engine is sans-io and deterministic: every
+//! input (client message or peer packet) produces a list of [`Output`]
+//! actions, and identical input sequences produce identical outputs. All
+//! maps and sets are ordered so replicas of the same group stay in
+//! lockstep under state machine replication.
+//!
+//! # Correctness deviation from the paper's pseudocode
+//!
+//! Algorithm 1 tracks `m.notifList` as a *set of groups* and
+//! `ancestors-that-acked` as a *set of groups*. That bookkeeping has a
+//! race: a group `X` can be notified about `m` twice — first by the lca,
+//! later by a destination that ordered new messages in between — and only
+//! the ack responding to the *second* notifier is guaranteed to carry the
+//! dependency that closes a potential cycle. With plain sets, a
+//! destination cannot tell which notif an ack answers, accepts the early
+//! ack, and can deliver into a cycle (found by the property checker on
+//! overlay O2; see DESIGN.md for the four-group counterexample). The fix
+//! keeps the paper's message flow and genuineness untouched but makes the
+//! bookkeeping precise: notifications are `(notifier, notified)` pairs,
+//! acks carry the prompting notifier (`via`), and `can-deliver` requires
+//! one ack per pair rather than one per group.
+
+use crate::history::{History, HistoryDelta, MsgRef};
+use crate::packet::{NotifPair, Packet};
+use flexcast_types::{DestSet, GroupId, Message, MsgId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Payload marking a garbage-collection flush message (§4.3). A flush must
+/// be multicast to *all* groups; delivering it prunes all history that
+/// precedes it.
+pub const FLUSH_PAYLOAD: &[u8] = b"__flexcast_flush__";
+
+/// An action produced by the engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Output {
+    /// Send `pkt` to group `to` over the C-DAG edge (always a descendant).
+    Send {
+        /// Destination group (strictly higher rank than the sender).
+        to: GroupId,
+        /// The packet to transmit.
+        pkt: Packet,
+    },
+    /// Deliver the message to the application (`deliver(m)`).
+    Deliver(Message),
+}
+
+/// Per-message bookkeeping while a message awaits delivery (Alg. 1 lines
+/// 5–6, with the pair-precise notifList described in the module docs).
+/// The message itself is `Some` once its `msg` packet has arrived; acks
+/// can overtake the msg on a different C-DAG edge, so either may arrive
+/// first.
+#[derive(Clone, Debug, Default)]
+struct PendingEntry {
+    msg: Option<Message>,
+    /// Received acks as `(acker, via)` — `via` is the acker itself for
+    /// destination acks, or the notifier it responded to.
+    acks: BTreeSet<(GroupId, GroupId)>,
+    /// Notification pairs `(notifier, notified)` learned so far.
+    required: BTreeSet<NotifPair>,
+}
+
+/// A FlexCast group: the per-group state of Algorithm 1 plus the event
+/// handlers of Algorithms 2 and 3.
+///
+/// The engine works in *rank space*: `GroupId(r)` is the group with rank
+/// `r` in the C-DAG; ancestors are lower ranks and descendants higher
+/// ranks. Mapping physical nodes to ranks is the overlay's job
+/// (`flexcast_overlay::CDagOrder`).
+#[derive(Clone, Debug)]
+pub struct FlexCastGroup {
+    g: GroupId,
+    n: u16,
+    hst: History,
+    delivered: BTreeSet<MsgId>,
+    /// One FIFO queue per ancestor (`queues` in Alg. 1): index = lca rank.
+    queues: Vec<VecDeque<MsgId>>,
+    pending: BTreeMap<MsgId, PendingEntry>,
+    /// Notifications waiting on open dependencies (`pendNotif`), with the
+    /// notifier that sent them.
+    pend_notif: Vec<(MsgRef, GroupId, BTreeSet<MsgId>)>,
+    /// Groups this group has itself notified, per message (the local
+    /// slice of `m.notifList`); prevents duplicate notifs.
+    my_notifs: BTreeMap<MsgId, DestSet>,
+    /// Vertices addressed to this group and not yet delivered — the
+    /// incrementally maintained `open-dependencies` set (Alg. 3 line 9).
+    open_deps: BTreeSet<MsgId>,
+    /// Vertices proven to have no open dependency among their ancestors.
+    /// Memoizes `can-deliver` condition 2: a blocking-predecessor walk
+    /// cuts at clean (and delivered) vertices and marks everything it
+    /// cleared, so repeated checks cost O(new history), not O(history).
+    /// Invalidated transitively when an edge from an unclean source
+    /// vertex arrives.
+    clean: BTreeSet<MsgId>,
+    /// Negative memo for condition 2: `m → o` means the last walk found
+    /// open dependency `o` above `m`; while `o` is still open there is no
+    /// point re-walking. Cleared when `o` delivers.
+    blocked_by: BTreeMap<MsgId, MsgId>,
+    /// Client messages deferred while this group has open dependencies
+    /// (see `on_client` — the lca-insertion fix).
+    client_backlog: VecDeque<Message>,
+
+    /// `hst(h)` tracking for `diff-hst`: per-descendant cursors into the
+    /// history's insertion logs (everything below the cursor was already
+    /// sent). Indexed by descendant rank.
+    vert_cursor: Vec<usize>,
+    edge_cursor: Vec<usize>,
+    /// Permanent, compact tombstones for pruned history: merges skip
+    /// pruned ids so a stale ancestor diff (e.g. on a low-traffic C-DAG
+    /// edge whose cursor lags many flush epochs) can never resurrect
+    /// garbage-collected vertices. Compactness comes from the closed-loop
+    /// client property: a client's messages complete strictly in sequence,
+    /// so pruned ids per client form a prefix — tracked as a watermark —
+    /// with a small residual set for out-of-prefix stragglers.
+    pruned_watermark: BTreeMap<flexcast_types::ClientId, u32>,
+    pruned_residual: BTreeSet<MsgId>,
+    delivered_count: u64,
+}
+
+impl FlexCastGroup {
+    /// Creates the engine for group `g` in a C-DAG of `n` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not a valid rank below `n`.
+    pub fn new(g: GroupId, n: u16) -> Self {
+        assert!(g.rank() < n, "group rank {g} out of range for {n} groups");
+        FlexCastGroup {
+            g,
+            n,
+            hst: History::new(),
+            delivered: BTreeSet::new(),
+            queues: (0..g.rank()).map(|_| VecDeque::new()).collect(),
+            pending: BTreeMap::new(),
+            pend_notif: Vec::new(),
+            my_notifs: BTreeMap::new(),
+            open_deps: BTreeSet::new(),
+            clean: BTreeSet::new(),
+            blocked_by: BTreeMap::new(),
+            client_backlog: VecDeque::new(),
+            vert_cursor: vec![0; n as usize],
+            edge_cursor: vec![0; n as usize],
+            pruned_watermark: BTreeMap::new(),
+            pruned_residual: BTreeSet::new(),
+            delivered_count: 0,
+        }
+    }
+
+    /// This group's rank.
+    pub fn id(&self) -> GroupId {
+        self.g
+    }
+
+    /// Number of groups in the overlay.
+    pub fn group_count(&self) -> u16 {
+        self.n
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Read-only view of the history DAG (diagnostics and tests).
+    pub fn history(&self) -> &History {
+        &self.hst
+    }
+
+    /// True if `id` has been delivered at this group.
+    pub fn has_delivered(&self, id: MsgId) -> bool {
+        self.delivered.contains(&id)
+    }
+
+    /// Messages queued but not yet deliverable (diagnostics).
+    pub fn backlog(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Diagnostic snapshot of why queue heads are stuck: for each queued
+    /// head, the ack pairs still missing and the blocking predecessor (if
+    /// any). Also reports deferred notifications and their open deps.
+    pub fn stuck_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for q in &self.queues {
+            if let Some(&head) = q.front() {
+                let entry = &self.pending[&head];
+                let mut missing = Vec::new();
+                if let Some(m) = &entry.msg {
+                    let mut lower = m.dst.below(self.g);
+                    lower.remove(m.lca());
+                    for h in lower.iter() {
+                        if !entry.acks.contains(&(h, h)) {
+                            missing.push(format!("({h} as dest)"));
+                        }
+                    }
+                    for &(n, x) in &entry.required {
+                        if x < self.g && !entry.acks.contains(&(x, n)) {
+                            missing.push(format!("({x} via {n})"));
+                        }
+                    }
+                    let blocker = self
+                        .hst
+                        .blocking_predecessor(head, self.g, &self.delivered);
+                    let _ = writeln!(
+                        out,
+                        "  head {head} dst={:?} missing=[{}] blocker={blocker:?} qlen={}",
+                        m.dst,
+                        missing.join(" "),
+                        q.len()
+                    );
+                } else {
+                    let _ = writeln!(out, "  head {head}: msg not arrived");
+                }
+            }
+        }
+        for (nref, via, deps) in &self.pend_notif {
+            let _ = writeln!(
+                out,
+                "  pend_notif {} via {via}: waiting on {:?}",
+                nref.id, deps
+            );
+        }
+        out
+    }
+
+    /// Handles a client multicast. Clients must address the message's lca
+    /// (Alg. 2 line 1).
+    ///
+    /// # Correctness deviation (lca-insertion fix)
+    ///
+    /// The paper's lca delivers client messages *unconditionally* on
+    /// reception. That is unsafe when the lca has a backlog: delivering a
+    /// brand-new message while older messages addressed to this group are
+    /// still undelivered inserts the new message *before* them in the
+    /// local chain — and those older messages may already be ordered
+    /// elsewhere, so the insertion retroactively places the new message
+    /// into the global past of in-flight messages. No ack or notif then
+    /// forces the in-flight messages' destinations to wait for the
+    /// insertion to propagate, and the global order can cycle (found by
+    /// the checker under GC-induced backlogs; see DESIGN.md). The fix:
+    /// defer client deliveries until this group has no open dependencies,
+    /// so a new message is always ordered *after* everything this group
+    /// knows — and, inductively, its msg packet carries its complete
+    /// global past. With an empty backlog this is exactly the paper's
+    /// immediate delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this group is not the message's lca — routing to the lca
+    /// is the client library's responsibility.
+    pub fn on_client(&mut self, m: Message, out: &mut Vec<Output>) {
+        assert_eq!(
+            self.g,
+            m.lca(),
+            "client messages must be sent to the message's lca"
+        );
+        self.client_backlog.push_back(m);
+        self.drain_client_backlog(out);
+    }
+
+    /// Delivers deferred client messages while the group is current
+    /// (no open dependencies).
+    fn drain_client_backlog(&mut self, out: &mut Vec<Output>) {
+        while self.open_deps.is_empty() {
+            let Some(m) = self.client_backlog.pop_front() else {
+                return;
+            };
+            self.a_deliver(m, out);
+        }
+    }
+
+    /// Handles a packet from another group (Algorithm 2).
+    pub fn on_packet(&mut self, from: GroupId, pkt: Packet, out: &mut Vec<Output>) {
+        debug_assert!(from < self.g, "C-DAG edges point to higher ranks only");
+        match pkt {
+            Packet::Msg {
+                msg,
+                notif_pairs,
+                hist,
+            } => {
+                self.update_hst(&hist);
+                debug_assert_ne!(self.g, msg.lca(), "lca receives msgs from clients only");
+                let entry = self.pending.entry(msg.id).or_default();
+                entry.required.extend(notif_pairs);
+                entry.msg = Some(msg.clone());
+                self.queues[msg.lca().index()].push_back(msg.id);
+                self.reprocess_queues(out);
+                self.drain_client_backlog(out);
+            }
+            Packet::Ack {
+                mref,
+                via,
+                notif_pairs,
+                hist,
+            } => {
+                self.update_hst(&hist);
+                if !self.delivered.contains(&mref.id) {
+                    let entry = self.pending.entry(mref.id).or_default();
+                    entry.acks.insert((from, via));
+                    entry.required.extend(notif_pairs);
+                }
+                self.reprocess_queues(out);
+                self.drain_client_backlog(out);
+            }
+            Packet::Notif { mref, hist } => {
+                self.update_hst(&hist);
+                let deps = self.open_deps.clone();
+                if deps.is_empty() {
+                    // Not a destination: acknowledge straight away so the
+                    // destinations above learn our dependencies.
+                    self.send_descendants(mref, None, from, out);
+                } else {
+                    self.pend_notif.push((mref, from, deps));
+                }
+            }
+        }
+    }
+
+    /// True if `id` was garbage-collected here (tombstone check).
+    fn is_pruned(&self, id: MsgId) -> bool {
+        self.pruned_watermark
+            .get(&id.sender)
+            .is_some_and(|&wm| id.seq <= wm)
+            || self.pruned_residual.contains(&id)
+    }
+
+    /// Records pruned ids, promoting contiguous per-client prefixes into
+    /// the watermark so the residual set stays small.
+    fn note_pruned(&mut self, ids: &[MsgId]) {
+        self.pruned_residual.extend(ids.iter().copied());
+        let clients: BTreeSet<flexcast_types::ClientId> =
+            ids.iter().map(|id| id.sender).collect();
+        for c in clients {
+            let mut next = match self.pruned_watermark.get(&c) {
+                Some(&wm) => wm.wrapping_add(1),
+                None => 0,
+            };
+            while self.pruned_residual.remove(&MsgId::new(c, next)) {
+                self.pruned_watermark.insert(c, next);
+                next = next.wrapping_add(1);
+            }
+        }
+    }
+
+    /// `update-hst` (Alg. 3 line 1), with the garbage-collection guard.
+    fn update_hst(&mut self, delta: &HistoryDelta) {
+        let mut skip_any = false;
+        for v in &delta.verts {
+            if self.is_pruned(v.id) {
+                skip_any = true;
+                break;
+            }
+        }
+        if skip_any {
+            let verts: Vec<_> = delta
+                .verts
+                .iter()
+                .filter(|v| !self.is_pruned(v.id))
+                .copied()
+                .collect();
+            let edges: Vec<_> = delta
+                .edges
+                .iter()
+                .filter(|(a, b)| !self.is_pruned(*a) && !self.is_pruned(*b))
+                .copied()
+                .collect();
+            let filtered = HistoryDelta { verts, edges };
+            self.hst.merge(&filtered, |_| false);
+            return self.post_merge(&filtered);
+        }
+        self.hst.merge(delta, |_| false);
+        self.post_merge(delta);
+    }
+
+    /// Open-dependency and clean-set maintenance after a delta merge.
+    fn post_merge(&mut self, delta: &HistoryDelta) {
+        for v in &delta.verts {
+            if v.dst.contains(self.g)
+                && !self.delivered.contains(&v.id)
+                && self.hst.contains(v.id)
+            {
+                self.open_deps.insert(v.id);
+            }
+        }
+        // Clean-set invalidation: an edge whose source is neither clean
+        // nor delivered may put an open dependency above its target.
+        for &(a, b) in &delta.edges {
+            if !self.clean.contains(&a) && !self.delivered.contains(&a) {
+                self.purge_clean(b);
+            }
+        }
+    }
+
+    /// Removes `v` and its clean descendants from the clean set.
+    fn purge_clean(&mut self, v: MsgId) {
+        if !self.clean.remove(&v) {
+            return;
+        }
+        let succs: Vec<MsgId> = self.hst.succs_of(v).collect();
+        for s in succs {
+            self.purge_clean(s);
+        }
+    }
+
+    /// Condition 2 of `can-deliver` with memoization: true if some open
+    /// dependency (undelivered message addressed to this group) precedes
+    /// `m` transitively.
+    fn cond2_blocked(&mut self, m: MsgId) -> bool {
+        if std::env::var("FLEX_NO_MEMO").is_ok() {
+            // Diagnostic mode: exact walk, no delivered-cut, no memos.
+            let mut stack: Vec<MsgId> = self.hst.preds_of(m).collect();
+            let mut seen: BTreeSet<MsgId> = stack.iter().copied().collect();
+            while let Some(v) = stack.pop() {
+                if self.open_deps.contains(&v) {
+                    return true;
+                }
+                for p in self.hst.preds_of(v) {
+                    if seen.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            return false;
+        }
+        if self.open_deps.is_empty() {
+            self.blocked_by.remove(&m);
+            return false;
+        }
+        // Negative memo: the previously found blocker is still open.
+        if let Some(o) = self.blocked_by.get(&m) {
+            if self.open_deps.contains(o) {
+                return true;
+            }
+            self.blocked_by.remove(&m);
+        }
+        let mut stack: Vec<MsgId> = self.hst.preds_of(m).collect();
+        let mut seen: BTreeSet<MsgId> = stack.iter().copied().collect();
+        let mut visited: Vec<MsgId> = Vec::new();
+        while let Some(v) = stack.pop() {
+            if self.delivered.contains(&v) || self.clean.contains(&v) {
+                continue;
+            }
+            if self.open_deps.contains(&v) {
+                self.blocked_by.insert(m, v);
+                return true;
+            }
+            visited.push(v);
+            for p in self.hst.preds_of(v) {
+                if seen.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        self.clean.extend(visited);
+        false
+    }
+
+    /// `a-deliver` (Alg. 3 line 20).
+    fn a_deliver(&mut self, m: Message, out: &mut Vec<Output>) {
+        debug_assert!(!self.delivered.contains(&m.id), "integrity: deliver once");
+        let mref = MsgRef::of(&m);
+        self.hst.record_delivery(mref);
+        self.delivered.insert(m.id);
+        self.open_deps.remove(&m.id);
+        self.blocked_by.remove(&m.id);
+        self.delivered_count += 1;
+        out.push(Output::Deliver(m.clone()));
+
+        if self.g == m.lca() {
+            self.send_descendants(mref, Some(&m), self.g, out);
+        } else {
+            let q = &mut self.queues[m.lca().index()];
+            let head = q.pop_front();
+            debug_assert_eq!(head, Some(m.id), "deliver only the queue head");
+            self.pending.remove(&m.id);
+            // A destination ack is tagged with the destination itself.
+            self.send_descendants(mref, None, self.g, out);
+        }
+
+        // Unblock pending notifications waiting on this delivery
+        // (Alg. 3 lines 27–31).
+        let mut ready = Vec::new();
+        self.pend_notif.retain_mut(|(nref, via, deps)| {
+            deps.remove(&m.id);
+            if deps.is_empty() {
+                ready.push((*nref, *via));
+                false
+            } else {
+                true
+            }
+        });
+        for (nref, via) in ready {
+            self.send_descendants(nref, None, via, out);
+        }
+
+        // Flush-based garbage collection (§4.3).
+        if m.payload.0 == FLUSH_PAYLOAD && m.dst == DestSet::all(self.n as usize) {
+            self.prune(m.id);
+        }
+    }
+
+    /// `send-descendants` (Alg. 3 line 32). `payload` is `Some` at the lca
+    /// (send `msg` packets) and `None` elsewhere (send `ack` packets
+    /// tagged with `via`: the sender itself for destination acks, or the
+    /// notifier being answered).
+    fn send_descendants(
+        &mut self,
+        mref: MsgRef,
+        payload: Option<&Message>,
+        via: GroupId,
+        out: &mut Vec<Output>,
+    ) {
+        let newly = self.send_notifs(mref, out);
+        let new_pairs: Vec<NotifPair> = newly.iter().map(|x| (self.g, x)).collect();
+
+        for d in mref.dst.above(self.g) {
+            let hist = self.diff_hst(d);
+            let pkt = match payload {
+                Some(m) => Packet::Msg {
+                    msg: m.clone(),
+                    notif_pairs: new_pairs.clone(),
+                    hist,
+                },
+                None => Packet::Ack {
+                    mref,
+                    via,
+                    notif_pairs: new_pairs.clone(),
+                    hist,
+                },
+            };
+            out.push(Output::Send { to: d, pkt });
+        }
+    }
+
+    /// `send-notifs` (Alg. 3 line 36): Strategy (c). Notifies descendants
+    /// that are not destinations of `mref` but (i) sit below some
+    /// destination and (ii) appear in this group's history — they may hold
+    /// dependencies the destinations cannot otherwise see. Each group is
+    /// notified at most once per message *by this group*; distinct
+    /// notifiers notify independently (that is the point of the pair
+    /// bookkeeping). Returns the newly notified groups.
+    fn send_notifs(&mut self, mref: MsgRef, out: &mut Vec<Output>) -> DestSet {
+        let mut newly = DestSet::EMPTY;
+        let Some(highest_dst) = mref.dst.highest() else {
+            return newly;
+        };
+        let mine = self.my_notifs.get(&mref.id).copied().unwrap_or(DestSet::EMPTY);
+        for d in (self.g.rank() + 1)..highest_dst.rank() {
+            let d = GroupId(d);
+            if mref.dst.contains(d) || mine.contains(d) || newly.contains(d) {
+                continue;
+            }
+            // ∃ d' ∈ m.dst with d an ancestor of d' — guaranteed by the
+            // loop bound (d < highest destination) — and history holds a
+            // message addressed to d.
+            if self.hst.contains_msg_to(d) {
+                let hist = self.diff_hst(d);
+                out.push(Output::Send {
+                    to: d,
+                    pkt: Packet::Notif { mref, hist },
+                });
+                newly.insert(d);
+            }
+        }
+        if !newly.is_empty() {
+            let entry = self.my_notifs.entry(mref.id).or_default();
+            *entry = entry.union(newly);
+        }
+        newly
+    }
+
+    /// `diff-hst(h)` (Alg. 3 line 11): the history not yet sent to `d` —
+    /// the log suffix past the descendant's cursor — advancing the cursor
+    /// as a side effect. O(new entries), per §4.3's diff optimization.
+    fn diff_hst(&mut self, d: GroupId) -> HistoryDelta {
+        let delta = HistoryDelta {
+            verts: self.hst.verts_since(self.vert_cursor[d.index()]).to_vec(),
+            edges: self.hst.edges_since(self.edge_cursor[d.index()]).to_vec(),
+        };
+        self.vert_cursor[d.index()] = self.hst.vert_log_len();
+        self.edge_cursor[d.index()] = self.hst.edge_log_len();
+        delta
+    }
+
+    /// `reprocess-queues` (Alg. 3 line 41): delivers queue heads until no
+    /// further progress is possible.
+    fn reprocess_queues(&mut self, out: &mut Vec<Output>) {
+        loop {
+            let mut delivered = false;
+            for lca in 0..self.queues.len() {
+                if let Some(&head) = self.queues[lca].front() {
+                    if self.can_deliver(head) {
+                        let m = self.pending[&head]
+                            .msg
+                            .clone()
+                            .expect("queued messages have arrived");
+                        self.a_deliver(m, out);
+                        delivered = true;
+                    }
+                }
+            }
+            if !delivered {
+                break;
+            }
+        }
+    }
+
+    /// `can-deliver` (Alg. 3 line 49) for a queued message, with the
+    /// pair-precise ack requirement (module docs). Split into the ack
+    /// check (`&self`) and the memoizing dependency check (`&mut self`).
+    fn can_deliver(&mut self, id: MsgId) -> bool {
+        // Condition 2 last: it mutates the memo, so only run it when the
+        // ack requirement already holds.
+        self.acks_satisfied(id) && !self.cond2_blocked(id)
+    }
+
+    /// Condition 1 of `can-deliver`: one ack per requirement.
+    fn acks_satisfied(&self, id: MsgId) -> bool {
+        let entry = &self.pending[&id];
+        let Some(m) = &entry.msg else {
+            return false;
+        };
+        // Condition 1: one ack per requirement. Destination ancestors
+        // (except the lca, whose msg packet is its ordering statement)
+        // must ack as themselves; every notified ancestor must ack once
+        // per notifier we know about.
+        let mut lower_dst = m.dst.below(self.g);
+        lower_dst.remove(m.lca());
+        for h in lower_dst.iter() {
+            if !entry.acks.contains(&(h, h)) {
+                return false;
+            }
+        }
+        for &(notifier, notified) in &entry.required {
+            if notified < self.g && !entry.acks.contains(&(notified, notifier)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Flush garbage collection: prunes everything that precedes `fence`
+    /// and rotates the two-epoch tombstone sets.
+    fn prune(&mut self, fence: MsgId) {
+        let pruned =
+            self.hst
+                .prune_before(fence, &mut self.vert_cursor, &mut self.edge_cursor);
+        for id in &pruned {
+            self.delivered.remove(id);
+            self.pending.remove(id);
+            self.my_notifs.remove(id);
+            self.clean.remove(id);
+            self.blocked_by.remove(id);
+        }
+        self.note_pruned(&pruned);
+    }
+
+    /// Builds the flush message used for garbage collection; multicast it
+    /// like any application message (its lca is rank 0).
+    pub fn flush_message(id: MsgId, n_groups: u16) -> Message {
+        Message::new(
+            id,
+            DestSet::all(n_groups as usize),
+            FLUSH_PAYLOAD.to_vec().into(),
+        )
+        .expect("flush has destinations")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcast_types::{ClientId, Payload};
+
+    const A: GroupId = GroupId(0);
+    const B: GroupId = GroupId(1);
+    const C: GroupId = GroupId(2);
+
+    fn msg(seq: u32, ranks: &[u16]) -> Message {
+        Message::new(
+            MsgId::new(ClientId(9), seq),
+            DestSet::try_from_ranks(ranks.iter().copied()).unwrap(),
+            Payload::empty(),
+        )
+        .unwrap()
+    }
+
+    fn deliveries(out: &[Output]) -> Vec<MsgId> {
+        out.iter()
+            .filter_map(|o| match o {
+                Output::Deliver(m) => Some(m.id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn sends(out: &[Output]) -> Vec<(GroupId, Packet)> {
+        out.iter()
+            .filter_map(|o| match o {
+                Output::Send { to, pkt } => Some((*to, pkt.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Routes `out` from group `from` into the right engine, collecting
+    /// transitively produced outputs. Delivery order per group recorded.
+    fn route(
+        engines: &mut [FlexCastGroup],
+        from: GroupId,
+        out: Vec<Output>,
+        log: &mut Vec<(GroupId, MsgId)>,
+    ) {
+        for o in out {
+            match o {
+                Output::Deliver(m) => log.push((from, m.id)),
+                Output::Send { to, pkt } => {
+                    let mut next = Vec::new();
+                    engines[to.index()].on_packet(from, pkt, &mut next);
+                    route(engines, to, next, log);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lca_delivers_immediately_and_forwards() {
+        let mut a = FlexCastGroup::new(A, 3);
+        let m = msg(0, &[0, 2]);
+        let mut out = Vec::new();
+        a.on_client(m.clone(), &mut out);
+        assert_eq!(deliveries(&out), vec![m.id]);
+        let s = sends(&out);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, C);
+        match &s[0].1 {
+            Packet::Msg { msg, hist, .. } => {
+                assert_eq!(msg.id, m.id);
+                // The delta carries the lca's own delivery of m.
+                assert!(hist.verts.iter().any(|v| v.id == m.id));
+            }
+            other => panic!("expected msg packet, got {other:?}"),
+        }
+        assert!(a.has_delivered(m.id));
+        assert_eq!(a.delivered_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lca")]
+    fn client_must_target_lca() {
+        let mut b = FlexCastGroup::new(B, 3);
+        b.on_client(msg(0, &[0, 1]), &mut Vec::new());
+    }
+
+    #[test]
+    fn local_message_has_no_sends() {
+        let mut b = FlexCastGroup::new(B, 3);
+        let m = msg(0, &[1]);
+        let mut out = Vec::new();
+        b.on_client(m.clone(), &mut out);
+        assert_eq!(deliveries(&out), vec![m.id]);
+        assert!(sends(&out).is_empty());
+    }
+
+    #[test]
+    fn non_lca_destination_delivers_and_acks_upward() {
+        let mut a = FlexCastGroup::new(A, 3);
+        let mut b = FlexCastGroup::new(B, 3);
+        let m = msg(0, &[0, 1, 2]);
+        let mut out_a = Vec::new();
+        a.on_client(m.clone(), &mut out_a);
+        // Feed B its copy.
+        let (to, pkt) = sends(&out_a)
+            .into_iter()
+            .find(|(to, _)| *to == B)
+            .expect("msg to B");
+        assert_eq!(to, B);
+        let mut out_b = Vec::new();
+        b.on_packet(A, pkt, &mut out_b);
+        assert_eq!(deliveries(&out_b), vec![m.id]);
+        // B acknowledges to C (its only higher destination), as itself.
+        let s = sends(&out_b);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, C);
+        assert!(
+            matches!(&s[0].1, Packet::Ack { mref, via, .. } if mref.id == m.id && *via == B)
+        );
+    }
+
+    #[test]
+    fn highest_destination_waits_for_middle_ack() {
+        // m to {A, B, C}: C must not deliver on A's msg alone.
+        let mut a = FlexCastGroup::new(A, 3);
+        let mut c = FlexCastGroup::new(C, 3);
+        let m = msg(0, &[0, 1, 2]);
+        let mut out_a = Vec::new();
+        a.on_client(m.clone(), &mut out_a);
+        let pkt_to_c = sends(&out_a)
+            .into_iter()
+            .find(|(to, _)| *to == C)
+            .unwrap()
+            .1;
+        let mut out_c = Vec::new();
+        c.on_packet(A, pkt_to_c, &mut out_c);
+        assert!(deliveries(&out_c).is_empty(), "B has not acked yet");
+        assert_eq!(c.backlog(), 1);
+
+        // Now simulate B's ack.
+        let mut b = FlexCastGroup::new(B, 3);
+        let pkt_to_b = {
+            let mut out_a2 = Vec::new();
+            let mut a2 = FlexCastGroup::new(A, 3);
+            a2.on_client(m.clone(), &mut out_a2);
+            sends(&out_a2).into_iter().find(|(to, _)| *to == B).unwrap().1
+        };
+        let mut out_b = Vec::new();
+        b.on_packet(A, pkt_to_b, &mut out_b);
+        let ack_to_c = sends(&out_b).into_iter().find(|(to, _)| *to == C).unwrap().1;
+        let mut out_c2 = Vec::new();
+        c.on_packet(B, ack_to_c, &mut out_c2);
+        assert_eq!(deliveries(&out_c2), vec![m.id]);
+        assert_eq!(c.backlog(), 0);
+    }
+
+    #[test]
+    fn ack_arriving_before_msg_is_buffered() {
+        let mut c = FlexCastGroup::new(C, 3);
+        let m = msg(0, &[0, 1, 2]);
+        // Build A's outputs, derive B's ack, deliver the ack to C first.
+        let mut a = FlexCastGroup::new(A, 3);
+        let mut b = FlexCastGroup::new(B, 3);
+        let mut out_a = Vec::new();
+        a.on_client(m.clone(), &mut out_a);
+        let pkt_to_b = sends(&out_a).iter().find(|(t, _)| *t == B).unwrap().1.clone();
+        let pkt_to_c = sends(&out_a).iter().find(|(t, _)| *t == C).unwrap().1.clone();
+        let mut out_b = Vec::new();
+        b.on_packet(A, pkt_to_b, &mut out_b);
+        let ack_to_c = sends(&out_b).into_iter().find(|(t, _)| *t == C).unwrap().1;
+
+        let mut out_c = Vec::new();
+        c.on_packet(B, ack_to_c, &mut out_c);
+        assert!(deliveries(&out_c).is_empty(), "msg not here yet");
+        let mut out_c2 = Vec::new();
+        c.on_packet(A, pkt_to_c, &mut out_c2);
+        assert_eq!(deliveries(&out_c2), vec![m.id], "ack was buffered");
+    }
+
+    /// Figure 3(a): histories propagate indirect dependencies.
+    /// m1 → {A,C}, m2 → {A,B}, m3 → {B,C}; C must deliver m1 before m3
+    /// even though m3 arrives first.
+    #[test]
+    fn fig3a_histories_order_indirect_dependencies() {
+        let mut a = FlexCastGroup::new(A, 3);
+        let mut b = FlexCastGroup::new(B, 3);
+        let mut c = FlexCastGroup::new(C, 3);
+        let m1 = msg(1, &[0, 2]);
+        let m2 = msg(2, &[0, 1]);
+        let m3 = msg(3, &[1, 2]);
+
+        // A delivers m1 then m2.
+        let mut out_a1 = Vec::new();
+        a.on_client(m1.clone(), &mut out_a1);
+        let m1_to_c = sends(&out_a1).into_iter().find(|(t, _)| *t == C).unwrap().1;
+        let mut out_a2 = Vec::new();
+        a.on_client(m2.clone(), &mut out_a2);
+        let m2_to_b = sends(&out_a2).into_iter().find(|(t, _)| *t == B).unwrap().1;
+
+        // B delivers m2 (from A), then m3 (client), forwarding m3 to C.
+        let mut out_b1 = Vec::new();
+        b.on_packet(A, m2_to_b, &mut out_b1);
+        assert_eq!(deliveries(&out_b1), vec![m2.id]);
+        let mut out_b2 = Vec::new();
+        b.on_client(m3.clone(), &mut out_b2);
+        let m3_to_c = sends(&out_b2).into_iter().find(|(t, _)| *t == C).unwrap().1;
+
+        // Adversarial order: C receives m3 before m1.
+        let mut out_c1 = Vec::new();
+        c.on_packet(B, m3_to_c, &mut out_c1);
+        assert!(
+            deliveries(&out_c1).is_empty(),
+            "m3 must wait: B's history says m1 → m2 → m3 and m1 is ours"
+        );
+        let mut out_c2 = Vec::new();
+        c.on_packet(A, m1_to_c, &mut out_c2);
+        assert_eq!(deliveries(&out_c2), vec![m1.id, m3.id], "m1 then m3");
+    }
+
+    /// Figure 3(b): ack messages carry dependencies created at a middle
+    /// destination. m1 → {B,C}, m2 → {A,B,C}; C must deliver m1 before m2.
+    #[test]
+    fn fig3b_acks_carry_middle_dependencies() {
+        let mut a = FlexCastGroup::new(A, 3);
+        let mut b = FlexCastGroup::new(B, 3);
+        let mut c = FlexCastGroup::new(C, 3);
+        let m1 = msg(1, &[1, 2]);
+        let m2 = msg(2, &[0, 1, 2]);
+
+        // B delivers m1 (it is m1's lca) and forwards to C.
+        let mut out_b1 = Vec::new();
+        b.on_client(m1.clone(), &mut out_b1);
+        let m1_to_c = sends(&out_b1).into_iter().find(|(t, _)| *t == C).unwrap().1;
+
+        // A delivers m2 and forwards to B and C.
+        let mut out_a = Vec::new();
+        a.on_client(m2.clone(), &mut out_a);
+        let m2_to_b = sends(&out_a).iter().find(|(t, _)| *t == B).unwrap().1.clone();
+        let m2_to_c = sends(&out_a).iter().find(|(t, _)| *t == C).unwrap().1.clone();
+
+        // C sees m2 first: must block on B's ack (condition 1).
+        let mut out_c1 = Vec::new();
+        c.on_packet(A, m2_to_c, &mut out_c1);
+        assert!(deliveries(&out_c1).is_empty());
+
+        // B delivers m2 after m1 and acks to C with the m1 → m2 edge.
+        let mut out_b2 = Vec::new();
+        b.on_packet(A, m2_to_b, &mut out_b2);
+        assert_eq!(deliveries(&out_b2), vec![m2.id]);
+        let ack_to_c = sends(&out_b2).into_iter().find(|(t, _)| *t == C).unwrap().1;
+
+        // FIFO on the B→C link: m1's msg precedes the ack. Delivering m1
+        // alone must not release m2 (B's ack is still required).
+        let mut out_c2 = Vec::new();
+        c.on_packet(B, m1_to_c, &mut out_c2);
+        assert_eq!(
+            deliveries(&out_c2),
+            vec![m1.id],
+            "m1 deliverable, m2 still awaiting B's ack"
+        );
+        let mut out_c3 = Vec::new();
+        c.on_packet(B, ack_to_c, &mut out_c3);
+        assert_eq!(deliveries(&out_c3), vec![m2.id], "m1 before m2 at C");
+    }
+
+    /// Figure 3(c): notif messages flush dependencies a destination never
+    /// sees. m1 → {B,C}, m2 → {A,B}, m3 → {A,C}; C must deliver m1 before
+    /// m3 although the m1 → m2 dependency lives only at B.
+    #[test]
+    fn fig3c_notifs_flush_hidden_dependencies() {
+        let mut a = FlexCastGroup::new(A, 3);
+        let mut b = FlexCastGroup::new(B, 3);
+        let mut c = FlexCastGroup::new(C, 3);
+        let m1 = msg(1, &[1, 2]);
+        let m2 = msg(2, &[0, 1]);
+        let m3 = msg(3, &[0, 2]);
+
+        // B delivers m1, sends msg to C (hold it back).
+        let mut out_b1 = Vec::new();
+        b.on_client(m1.clone(), &mut out_b1);
+        let m1_to_c = sends(&out_b1).into_iter().find(|(t, _)| *t == C).unwrap().1;
+
+        // A delivers m2, sends to B; B delivers m2 after m1.
+        let mut out_a1 = Vec::new();
+        a.on_client(m2.clone(), &mut out_a1);
+        let m2_to_b = sends(&out_a1).into_iter().find(|(t, _)| *t == B).unwrap().1;
+        let mut out_b2 = Vec::new();
+        b.on_packet(A, m2_to_b, &mut out_b2);
+        assert_eq!(deliveries(&out_b2), vec![m2.id]);
+        assert!(sends(&out_b2).is_empty(), "no destination above B in m2");
+
+        // A delivers m3. Strategy (c): A must notif B (B holds a message
+        // addressed to it in A's history, and B < C ∈ m3.dst).
+        let mut out_a2 = Vec::new();
+        a.on_client(m3.clone(), &mut out_a2);
+        let s = sends(&out_a2);
+        let notif_to_b = s
+            .iter()
+            .find(|(t, p)| *t == B && matches!(p, Packet::Notif { .. }))
+            .expect("A must notify B about m3")
+            .1
+            .clone();
+        let m3_to_c = s
+            .iter()
+            .find(|(t, p)| *t == C && matches!(p, Packet::Msg { .. }))
+            .unwrap()
+            .1
+            .clone();
+        match &m3_to_c {
+            Packet::Msg { notif_pairs, .. } => {
+                assert!(
+                    notif_pairs.contains(&(A, B)),
+                    "msg carries the (notifier, notified) pair"
+                )
+            }
+            _ => unreachable!(),
+        }
+
+        // Adversarial cross-link order: C receives m3 (link A→C) first —
+        // it must wait for the notified group B to ack.
+        let mut out_c1 = Vec::new();
+        c.on_packet(A, m3_to_c, &mut out_c1);
+        assert!(deliveries(&out_c1).is_empty(), "waits for notified B");
+
+        // B processes the notif: all its deps are delivered, so it acks C
+        // carrying the m1 → m2 → m3 history, tagged via=A.
+        let mut out_b3 = Vec::new();
+        b.on_packet(A, notif_to_b, &mut out_b3);
+        let ack_to_c = sends(&out_b3)
+            .into_iter()
+            .find(|(t, p)| *t == C && matches!(p, Packet::Ack { via, .. } if *via == A))
+            .expect("notified group acks the destinations, via the notifier")
+            .1;
+
+        // FIFO on the B→C link: the m1 msg precedes B's ack. m1 delivers,
+        // but m3 still lacks B's ack.
+        let mut out_c2 = Vec::new();
+        c.on_packet(B, m1_to_c, &mut out_c2);
+        assert_eq!(deliveries(&out_c2), vec![m1.id]);
+        // B's ack closes the loop: the m1 → m2 → m3 path is now visible
+        // and satisfied, so m3 delivers after m1.
+        let mut out_c3 = Vec::new();
+        c.on_packet(B, ack_to_c, &mut out_c3);
+        assert_eq!(deliveries(&out_c3), vec![m3.id], "m1 before m3 at C");
+    }
+
+    /// A notified group with open dependencies defers its acks until the
+    /// dependencies are delivered (Alg. 2 lines 14–16, Alg. 3 lines 27–31).
+    #[test]
+    fn notif_with_open_dependencies_is_deferred() {
+        // Four groups 0 < 1 < 2 < 3. Group 2 learns about m0 (addressed to
+        // it, still in flight on the 0→2 link) through group 1's notif for
+        // m2 — and must defer its ack until m0 is delivered.
+        let g0 = GroupId(0);
+        let g1 = GroupId(1);
+        let g2 = GroupId(2);
+        let g3 = GroupId(3);
+        let mut e0 = FlexCastGroup::new(g0, 4);
+        let mut e1 = FlexCastGroup::new(g1, 4);
+        let mut e2 = FlexCastGroup::new(g2, 4);
+        let m0 = msg(1, &[0, 2]);
+        let m1 = msg(2, &[0, 1]);
+        let m2 = msg(3, &[1, 3]);
+
+        // Group 0 delivers m0 (msg to 2 stays in flight) and m1 (msg to 1
+        // carries m0's vertex in the history delta).
+        let mut out_01 = Vec::new();
+        e0.on_client(m0.clone(), &mut out_01);
+        let m0_to_2 = sends(&out_01).into_iter().find(|(t, _)| *t == g2).unwrap().1;
+        let mut out_02 = Vec::new();
+        e0.on_client(m1.clone(), &mut out_02);
+        let m1_to_1 = sends(&out_02).into_iter().find(|(t, _)| *t == g1).unwrap().1;
+
+        // Group 1 delivers m1, then m2 (it is m2's lca). Forwarding m2 it
+        // must notif group 2: 2 < 3 ∈ m2.dst, 2 ∉ m2.dst, and group 1's
+        // history holds m0 addressed to 2.
+        let mut out_11 = Vec::new();
+        e1.on_packet(g0, m1_to_1, &mut out_11);
+        assert_eq!(deliveries(&out_11), vec![m1.id]);
+        let mut out_12 = Vec::new();
+        e1.on_client(m2.clone(), &mut out_12);
+        let notif_to_2 = sends(&out_12)
+            .into_iter()
+            .find(|(t, p)| *t == g2 && matches!(p, Packet::Notif { .. }))
+            .expect("group 1 must notify group 2")
+            .1;
+
+        // The notif reaches group 2 while m0 is still in flight (different
+        // link) → open dependency → defer the ack.
+        let mut out_21 = Vec::new();
+        e2.on_packet(g1, notif_to_2, &mut out_21);
+        assert!(sends(&out_21).is_empty(), "ack deferred on open deps");
+
+        // Delivering m0 releases the pending notification, tagged with
+        // the original notifier.
+        let mut out_22 = Vec::new();
+        e2.on_packet(g0, m0_to_2, &mut out_22);
+        assert_eq!(deliveries(&out_22), vec![m0.id]);
+        let acked: Vec<(GroupId, GroupId)> = sends(&out_22)
+            .into_iter()
+            .filter_map(|(t, p)| match p {
+                Packet::Ack { mref, via, .. } if mref.id == m2.id => Some((t, via)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acked, vec![(g3, g1)], "ack m2 to its high destination");
+    }
+
+    /// Regression for the double-notification race (module docs): a group
+    /// notified early (by the lca) and late (by a destination) must ack
+    /// twice, and the final destination must wait for the *second* ack —
+    /// the one that carries the dependency created in between.
+    #[test]
+    fn double_notification_requires_an_ack_per_notifier() {
+        let g0 = GroupId(0); // A
+        let g1 = GroupId(1); // B
+        let g2 = GroupId(2); // C
+        let g3 = GroupId(3); // D
+        let mut a = FlexCastGroup::new(g0, 4);
+        let mut b = FlexCastGroup::new(g1, 4);
+        let mut c = FlexCastGroup::new(g2, 4);
+        let mut d = FlexCastGroup::new(g3, 4);
+
+        // Seed: mac {A,C} gives A a history entry addressed to C (so A
+        // will notify C directly) and leaves C with no open deps.
+        let mac = msg(10, &[0, 2]);
+        let mut out = Vec::new();
+        a.on_client(mac.clone(), &mut out);
+        let mac_to_c = sends(&out).into_iter().find(|(t, _)| *t == g2).unwrap().1;
+        let mut out = Vec::new();
+        c.on_packet(g0, mac_to_c, &mut out);
+        assert_eq!(deliveries(&out), vec![mac.id]);
+
+        // B delivers m3 {B,C} (lca B); its msg to C stays in flight.
+        let m3 = msg(3, &[1, 2]);
+        let mut out = Vec::new();
+        b.on_client(m3.clone(), &mut out);
+        let m3_to_c = sends(&out).into_iter().find(|(t, _)| *t == g2).unwrap().1;
+
+        // A delivers m1 {A,B}; B delivers it after m3 (order m3 ≺ m1).
+        let m1 = msg(1, &[0, 1]);
+        let mut out = Vec::new();
+        a.on_client(m1.clone(), &mut out);
+        let m1_to_b = sends(&out).into_iter().find(|(t, _)| *t == g1).unwrap().1;
+        let mut out = Vec::new();
+        b.on_packet(g0, m1_to_b, &mut out);
+        assert_eq!(deliveries(&out), vec![m1.id]);
+
+        // A delivers m0 {A,D}: it notifies BOTH B (m1 in history) and C
+        // (mac in history); the msg to D carries both pairs.
+        let m0 = msg(0, &[0, 3]);
+        let mut out_a = Vec::new();
+        a.on_client(m0.clone(), &mut out_a);
+        let s = sends(&out_a);
+        let notif_a_to_b = s
+            .iter()
+            .find(|(t, p)| *t == g1 && matches!(p, Packet::Notif { .. }))
+            .expect("A notifies B")
+            .1
+            .clone();
+        let notif_a_to_c = s
+            .iter()
+            .find(|(t, p)| *t == g2 && matches!(p, Packet::Notif { .. }))
+            .expect("A notifies C")
+            .1
+            .clone();
+        let m0_to_d = s
+            .iter()
+            .find(|(t, p)| *t == g3 && matches!(p, Packet::Msg { .. }))
+            .unwrap()
+            .1
+            .clone();
+        match &m0_to_d {
+            Packet::Msg { notif_pairs, .. } => {
+                assert!(notif_pairs.contains(&(g0, g1)));
+                assert!(notif_pairs.contains(&(g0, g2)));
+            }
+            _ => unreachable!(),
+        }
+
+        // C answers A's notif *early* — before delivering m2 and m3.
+        let mut out = Vec::new();
+        c.on_packet(g0, notif_a_to_c, &mut out);
+        let c_ack_via_a = sends(&out)
+            .into_iter()
+            .find(|(t, p)| *t == g3 && matches!(p, Packet::Ack { via, .. } if *via == g0))
+            .expect("C acks D via A")
+            .1;
+
+        // Now C delivers m2 {C,D} (client) and m3 (from B): creates the
+        // m2 → m3 dependency that D must respect before m0.
+        let m2 = msg(2, &[2, 3]);
+        let mut out = Vec::new();
+        c.on_client(m2.clone(), &mut out);
+        let m2_to_d = sends(&out).into_iter().find(|(t, _)| *t == g3).unwrap().1;
+        let mut out = Vec::new();
+        c.on_packet(g1, m3_to_c, &mut out);
+        assert_eq!(deliveries(&out), vec![m3.id]);
+
+        // B answers A's notif: acks D via A and — the induction — also
+        // notifies C (pair (B, C)), because m3 in B's history is
+        // addressed to C.
+        let mut out = Vec::new();
+        b.on_packet(g0, notif_a_to_b, &mut out);
+        let b_ack_via_a = sends(&out)
+            .iter()
+            .find(|(t, p)| *t == g3 && matches!(p, Packet::Ack { via, .. } if *via == g0))
+            .expect("B acks D via A")
+            .1
+            .clone();
+        let notif_b_to_c = sends(&out)
+            .into_iter()
+            .find(|(t, p)| *t == g2 && matches!(p, Packet::Notif { .. }))
+            .expect("B must notify C (induction)")
+            .1;
+        match &b_ack_via_a {
+            Packet::Ack { notif_pairs, .. } => {
+                assert!(notif_pairs.contains(&(g1, g2)), "ack announces (B → C)")
+            }
+            _ => unreachable!(),
+        }
+
+        // D receives, FIFO-legal: m0's msg, C's early ack, B's ack.
+        // The old set-based bookkeeping would deliver m0 here — C and B
+        // have both acked — re-creating the cycle. Pair bookkeeping keeps
+        // m0 blocked: requirement (B → C) has no matching ack yet.
+        let mut out = Vec::new();
+        d.on_packet(g0, m0_to_d, &mut out);
+        assert!(deliveries(&out).is_empty());
+        let mut out = Vec::new();
+        d.on_packet(g2, c_ack_via_a, &mut out);
+        assert!(deliveries(&out).is_empty());
+        let mut out = Vec::new();
+        d.on_packet(g1, b_ack_via_a, &mut out);
+        assert!(
+            deliveries(&out).is_empty(),
+            "m0 must wait for C's ack via B"
+        );
+
+        // m2's msg arrives (C→D FIFO: after C's early ack): delivers.
+        let mut out = Vec::new();
+        d.on_packet(g2, m2_to_d, &mut out);
+        assert_eq!(deliveries(&out), vec![m2.id]);
+
+        // C answers B's notif with the fresh history (m2 → m3 edge).
+        let mut out = Vec::new();
+        c.on_packet(g1, notif_b_to_c, &mut out);
+        let c_ack_via_b = sends(&out)
+            .into_iter()
+            .find(|(t, p)| *t == g3 && matches!(p, Packet::Ack { via, .. } if *via == g1))
+            .expect("C acks D via B")
+            .1;
+        let mut out = Vec::new();
+        d.on_packet(g2, c_ack_via_b, &mut out);
+        assert_eq!(deliveries(&out), vec![m0.id], "m2 before m0 at D");
+    }
+
+    /// End-to-end sanity on four groups with randomized-ish interleaving
+    /// through the router helper: prefix and acyclic order hold.
+    #[test]
+    fn four_group_relay_is_consistent() {
+        let n = 4u16;
+        let mut engines: Vec<FlexCastGroup> =
+            (0..n).map(|g| FlexCastGroup::new(GroupId(g), n)).collect();
+        let mut log = Vec::new();
+        let workload = [
+            msg(1, &[0, 1, 2]),
+            msg(2, &[1, 3]),
+            msg(3, &[0, 2, 3]),
+            msg(4, &[2, 3]),
+            msg(5, &[0, 1, 2, 3]),
+        ];
+        for m in &workload {
+            let lca = m.lca();
+            let mut out = Vec::new();
+            engines[lca.index()].on_client(m.clone(), &mut out);
+            route(&mut engines, lca, out, &mut log);
+        }
+        // Everyone delivered everything addressed to them.
+        for m in &workload {
+            for g in m.dst.iter() {
+                assert!(
+                    engines[g.index()].has_delivered(m.id),
+                    "{m:?} missing at {g}"
+                );
+            }
+        }
+        // Pairwise prefix order: shared destinations agree on order.
+        let order_at = |g: GroupId| -> Vec<MsgId> {
+            log.iter()
+                .filter(|(h, _)| *h == g)
+                .map(|&(_, id)| id)
+                .collect()
+        };
+        for x in 0..n {
+            for y in (x + 1)..n {
+                let (ox, oy) = (order_at(GroupId(x)), order_at(GroupId(y)));
+                let shared: Vec<MsgId> = ox
+                    .iter()
+                    .copied()
+                    .filter(|id| oy.contains(id))
+                    .collect();
+                let oy_shared: Vec<MsgId> = oy
+                    .iter()
+                    .copied()
+                    .filter(|id| ox.contains(id))
+                    .collect();
+                assert_eq!(shared, oy_shared, "groups g{x} and g{y} disagree");
+            }
+        }
+    }
+
+    #[test]
+    fn flush_prunes_history_everywhere_it_is_delivered() {
+        let n = 3u16;
+        let mut engines: Vec<FlexCastGroup> =
+            (0..n).map(|g| FlexCastGroup::new(GroupId(g), n)).collect();
+        let mut log = Vec::new();
+        for seq in 1..=6 {
+            let m = msg(seq, &[0, 1, 2]);
+            let mut out = Vec::new();
+            engines[0].on_client(m, &mut out);
+            route(&mut engines, A, out, &mut log);
+        }
+        let before: Vec<usize> = engines.iter().map(|e| e.history().len()).collect();
+        assert!(before.iter().all(|&l| l >= 6));
+
+        let flush = FlexCastGroup::flush_message(MsgId::new(ClientId(0), 100), n);
+        let mut out = Vec::new();
+        engines[0].on_client(flush.clone(), &mut out);
+        route(&mut engines, A, out, &mut log);
+
+        for e in &engines {
+            assert!(e.has_delivered(flush.id));
+            assert!(
+                e.history().len() <= 2,
+                "history pruned to the fence (got {})",
+                e.history().len()
+            );
+        }
+
+        // The system still works after pruning.
+        let m = msg(200, &[0, 1, 2]);
+        let mut out = Vec::new();
+        engines[0].on_client(m.clone(), &mut out);
+        route(&mut engines, A, out, &mut log);
+        for e in &engines {
+            assert!(e.has_delivered(m.id));
+        }
+    }
+
+    #[test]
+    fn histories_are_diffed_not_resent() {
+        let mut a = FlexCastGroup::new(A, 2);
+        let m1 = msg(1, &[0, 1]);
+        let m2 = msg(2, &[0, 1]);
+        let mut out1 = Vec::new();
+        a.on_client(m1.clone(), &mut out1);
+        let mut out2 = Vec::new();
+        a.on_client(m2.clone(), &mut out2);
+        let h1 = sends(&out1)[0].1.hist().clone();
+        let h2 = sends(&out2)[0].1.hist().clone();
+        assert!(h1.verts.iter().any(|v| v.id == m1.id));
+        assert!(
+            !h2.verts.iter().any(|v| v.id == m1.id),
+            "m1's vertex already sent to B, diff must exclude it"
+        );
+        assert!(h2.verts.iter().any(|v| v.id == m2.id));
+        assert!(h2.edges.contains(&(m1.id, m2.id)), "new edge still sent");
+    }
+}

@@ -1,0 +1,605 @@
+//! The history DAG (paper Algorithm 1, type `H`).
+//!
+//! A history is `H = (M, D, lastDlvd)`: a set of message vertices, a set of
+//! order edges, and the last message delivered locally. Vertices carry only
+//! a message's id and destinations ("A vertex contains a message's id and
+//! destinations", §4.1) — payloads never travel inside histories.
+//!
+//! Each group's own deliveries form a chain (total order); merging the
+//! histories of ancestor groups turns the structure into a DAG whose paths
+//! encode (transitive) delivery dependencies.
+
+use flexcast_types::{DestSet, GroupId, Message, MsgId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A history vertex: a message's identity and destinations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MsgRef {
+    /// The message's globally unique id.
+    pub id: MsgId,
+    /// The message's destination groups.
+    pub dst: DestSet,
+}
+
+impl MsgRef {
+    /// Builds a reference from a full message.
+    pub fn of(m: &Message) -> Self {
+        MsgRef {
+            id: m.id,
+            dst: m.dst,
+        }
+    }
+
+    /// The lowest-ranked destination (`m.lca()`).
+    pub fn lca(&self) -> GroupId {
+        self.dst.lowest().expect("history vertices have destinations")
+    }
+}
+
+/// The portion of a history shipped inside one packet (`diff-hst`, Alg. 3
+/// line 11): only the vertices and edges the receiver has not seen from
+/// this sender yet.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct HistoryDelta {
+    /// New vertices.
+    pub verts: Vec<MsgRef>,
+    /// New order edges `(before, after)`.
+    pub edges: Vec<(MsgId, MsgId)>,
+}
+
+impl HistoryDelta {
+    /// An empty delta.
+    pub fn empty() -> Self {
+        HistoryDelta::default()
+    }
+
+    /// True if the delta carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty() && self.edges.is_empty()
+    }
+}
+
+/// A group's history DAG (`hst` in Algorithm 1).
+///
+/// Deterministic by construction: all internal collections are ordered
+/// (`BTreeMap`/`BTreeSet`), so iteration order — and therefore the bytes of
+/// every [`HistoryDelta`] — is identical across runs and replicas. That
+/// determinism is what lets the engine run unchanged under state machine
+/// replication.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    verts: BTreeMap<MsgId, DestSet>,
+    preds: BTreeMap<MsgId, BTreeSet<MsgId>>,
+    succs: BTreeMap<MsgId, BTreeSet<MsgId>>,
+    last_delivered: Option<MsgId>,
+    /// Append-only insertion logs backing `diff-hst`: a descendant's
+    /// cursor into these logs identifies exactly the history it has not
+    /// been sent yet (§4.3's "last message of the local history sent to
+    /// each descendant"), making diffs O(new entries) instead of
+    /// O(full history).
+    vert_log: Vec<MsgRef>,
+    edge_log: Vec<(MsgId, MsgId)>,
+    /// Number of retained vertices addressed to each group, for O(log n)
+    /// `contains_msg_to` (evaluated on every forward by `send-notifs`).
+    addressed: BTreeMap<GroupId, u32>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Number of vertices currently retained.
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// True if the history holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// Number of edges currently retained.
+    pub fn edge_count(&self) -> usize {
+        self.preds.values().map(BTreeSet::len).sum()
+    }
+
+    /// The last message delivered by this group (`hst.lastDlvd`).
+    pub fn last_delivered(&self) -> Option<MsgId> {
+        self.last_delivered
+    }
+
+    /// True if the history contains a vertex for `id`.
+    pub fn contains(&self, id: MsgId) -> bool {
+        self.verts.contains_key(&id)
+    }
+
+    /// Destinations of a vertex, if present.
+    pub fn dst_of(&self, id: MsgId) -> Option<DestSet> {
+        self.verts.get(&id).copied()
+    }
+
+    /// Iterates all vertices.
+    pub fn verts(&self) -> impl Iterator<Item = MsgRef> + '_ {
+        self.verts.iter().map(|(&id, &dst)| MsgRef { id, dst })
+    }
+
+    /// Iterates all edges as `(before, after)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (MsgId, MsgId)> + '_ {
+        self.preds
+            .iter()
+            .flat_map(|(&after, befores)| befores.iter().map(move |&b| (b, after)))
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn preds_of(&self, id: MsgId) -> impl Iterator<Item = MsgId> + '_ {
+        self.preds.get(&id).into_iter().flatten().copied()
+    }
+
+    /// Direct successors of `id`.
+    pub fn succs_of(&self, id: MsgId) -> impl Iterator<Item = MsgId> + '_ {
+        self.succs.get(&id).into_iter().flatten().copied()
+    }
+
+    /// Inserts a vertex if absent. Returns true when it was new.
+    pub fn insert_vert(&mut self, v: MsgRef) -> bool {
+        if self.verts.insert(v.id, v.dst).is_none() {
+            self.vert_log.push(v);
+            for g in v.dst.iter() {
+                *self.addressed.entry(g).or_insert(0) += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts an order edge `before → after`. Both endpoints must already
+    /// be vertices; unknown endpoints are ignored (a delta always ships its
+    /// vertices with its edges, so this only drops edges about vertices
+    /// pruned by garbage collection).
+    pub fn insert_edge(&mut self, before: MsgId, after: MsgId) {
+        if before == after || !self.verts.contains_key(&before) || !self.verts.contains_key(&after)
+        {
+            return;
+        }
+        if self.preds.entry(after).or_default().insert(before) {
+            self.succs.entry(before).or_default().insert(after);
+            self.edge_log.push((before, after));
+        }
+    }
+
+    /// Length of the vertex insertion log (a `diff-hst` cursor bound).
+    pub fn vert_log_len(&self) -> usize {
+        self.vert_log.len()
+    }
+
+    /// Length of the edge insertion log (a `diff-hst` cursor bound).
+    pub fn edge_log_len(&self) -> usize {
+        self.edge_log.len()
+    }
+
+    /// Vertices inserted at or after log position `from`.
+    pub fn verts_since(&self, from: usize) -> &[MsgRef] {
+        &self.vert_log[from.min(self.vert_log.len())..]
+    }
+
+    /// Edges inserted at or after log position `from`.
+    pub fn edges_since(&self, from: usize) -> &[(MsgId, MsgId)] {
+        &self.edge_log[from.min(self.edge_log.len())..]
+    }
+
+    /// Records a local delivery (`hst-add`, Alg. 3 line 4): inserts the
+    /// vertex and chains it after the previous local delivery.
+    pub fn record_delivery(&mut self, v: MsgRef) {
+        self.insert_vert(v);
+        if let Some(last) = self.last_delivered {
+            self.insert_edge(last, v.id);
+        }
+        self.last_delivered = Some(v.id);
+    }
+
+    /// Merges a received delta (`update-hst`, Alg. 3 line 1). `skip`
+    /// filters vertices this group has garbage-collected, so pruned
+    /// history cannot re-enter through a slow ancestor.
+    pub fn merge(&mut self, delta: &HistoryDelta, skip: impl Fn(MsgId) -> bool) {
+        for v in &delta.verts {
+            if !skip(v.id) {
+                self.insert_vert(*v);
+            }
+        }
+        for &(b, a) in &delta.edges {
+            if !skip(b) && !skip(a) {
+                self.insert_edge(b, a);
+            }
+        }
+    }
+
+    /// True if the history has any vertex addressed to `g`
+    /// (`hst.containsMsgTo`, Alg. 3 line 38).
+    pub fn contains_msg_to(&self, g: GroupId) -> bool {
+        self.addressed.get(&g).copied().unwrap_or(0) > 0
+    }
+
+    /// True if there is a directed path `from →* to` (strictly, length ≥ 1
+    /// when `from != to`; reflexively true when `from == to`). This is the
+    /// transitive `depend` test of Alg. 3 line 17 with the roles spelled
+    /// out: `depend(m, m')` in the paper is `reaches(m', m)` here.
+    pub fn reaches(&self, from: MsgId, to: MsgId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(v) = stack.pop() {
+            if let Some(nexts) = self.succs.get(&v) {
+                for &n in nexts {
+                    if n == to {
+                        return true;
+                    }
+                    if seen.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Finds a predecessor of `m` (transitively) that is addressed to `g`
+    /// and not yet in `delivered` — the blocking condition of
+    /// `can-deliver` (Alg. 3 line 52). Walks backwards from `m`.
+    ///
+    /// The walk stops at vertices already delivered at `g`: by the
+    /// protocol's complete-dependency-information guarantee (the paper's
+    /// Lemma 3), everything ordered before a message was resolved before
+    /// that message delivered, so a delivered vertex's past cannot hold a
+    /// blocker. This keeps the walk proportional to the *in-flight*
+    /// history rather than everything since the last flush.
+    pub fn blocking_predecessor(
+        &self,
+        m: MsgId,
+        g: GroupId,
+        delivered: &BTreeSet<MsgId>,
+    ) -> Option<MsgId> {
+        let mut stack: Vec<MsgId> = self.preds_of(m).collect();
+        let mut seen: BTreeSet<MsgId> = stack.iter().copied().collect();
+        while let Some(v) = stack.pop() {
+            if delivered.contains(&v) {
+                continue; // resolved past: cannot block, do not expand
+            }
+            if let Some(dst) = self.verts.get(&v) {
+                if dst.contains(g) {
+                    return Some(v);
+                }
+            }
+            for p in self.preds_of(v) {
+                if seen.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// All vertices addressed to `g` that are not in `delivered`
+    /// (`open-dependencies`, Alg. 3 line 9).
+    pub fn open_dependencies(&self, g: GroupId, delivered: &BTreeSet<MsgId>) -> BTreeSet<MsgId> {
+        self.verts
+            .iter()
+            .filter(|(id, dst)| dst.contains(g) && !delivered.contains(id))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Removes every vertex from which `fence` is reachable (the strict
+    /// past of `fence`), keeping `fence` itself. Returns the pruned ids.
+    /// This is the flush-based garbage collection of §4.3.
+    ///
+    /// `vert_cursors`/`edge_cursors` are per-descendant `diff-hst` cursors
+    /// into the insertion logs; compaction remaps them so each cursor
+    /// still covers exactly the entries its descendant has received.
+    pub fn prune_before(
+        &mut self,
+        fence: MsgId,
+        vert_cursors: &mut [usize],
+        edge_cursors: &mut [usize],
+    ) -> Vec<MsgId> {
+        if !self.verts.contains_key(&fence) {
+            return Vec::new();
+        }
+        // Backward closure from the fence.
+        let mut doomed = BTreeSet::new();
+        let mut stack: Vec<MsgId> = self.preds_of(fence).collect();
+        while let Some(v) = stack.pop() {
+            if doomed.insert(v) {
+                stack.extend(self.preds_of(v));
+            }
+        }
+        for &v in &doomed {
+            if let Some(dst) = self.verts.remove(&v) {
+                for g in dst.iter() {
+                    if let Some(c) = self.addressed.get_mut(&g) {
+                        *c -= 1;
+                    }
+                }
+            }
+            if let Some(ps) = self.preds.remove(&v) {
+                for p in ps {
+                    if let Some(s) = self.succs.get_mut(&p) {
+                        s.remove(&v);
+                    }
+                }
+            }
+            if let Some(ss) = self.succs.remove(&v) {
+                for s in ss {
+                    if let Some(p) = self.preds.get_mut(&s) {
+                        p.remove(&v);
+                    }
+                }
+            }
+        }
+
+        // Compact the logs and remap cursors: a new cursor counts the
+        // retained entries among the old prefix it covered.
+        let vert_retained: Vec<bool> = self
+            .vert_log
+            .iter()
+            .map(|v| !doomed.contains(&v.id))
+            .collect();
+        let mut vert_prefix = vec![0usize; vert_retained.len() + 1];
+        for (i, &keep) in vert_retained.iter().enumerate() {
+            vert_prefix[i + 1] = vert_prefix[i] + keep as usize;
+        }
+        for c in vert_cursors.iter_mut() {
+            *c = vert_prefix[(*c).min(vert_retained.len())];
+        }
+        let mut keep_it = vert_retained.iter().copied();
+        self.vert_log.retain(|_| keep_it.next().unwrap_or(true));
+
+        let edge_retained: Vec<bool> = self
+            .edge_log
+            .iter()
+            .map(|(a, b)| !doomed.contains(a) && !doomed.contains(b))
+            .collect();
+        let mut edge_prefix = vec![0usize; edge_retained.len() + 1];
+        for (i, &keep) in edge_retained.iter().enumerate() {
+            edge_prefix[i + 1] = edge_prefix[i] + keep as usize;
+        }
+        for c in edge_cursors.iter_mut() {
+            *c = edge_prefix[(*c).min(edge_retained.len())];
+        }
+        let mut keep_it = edge_retained.iter().copied();
+        self.edge_log.retain(|_| keep_it.next().unwrap_or(true));
+
+        doomed.into_iter().collect()
+    }
+
+    /// Checks that the history is acyclic (test/diagnostic helper; the
+    /// protocol maintains acyclicity as an invariant).
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm over the retained graph.
+        let mut indegree: BTreeMap<MsgId, usize> =
+            self.verts.keys().map(|&id| (id, 0)).collect();
+        for (_, after) in self.edges() {
+            *indegree.get_mut(&after).expect("edge endpoints are vertices") += 1;
+        }
+        let mut ready: Vec<MsgId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(v) = ready.pop() {
+            seen += 1;
+            if let Some(ss) = self.succs.get(&v) {
+                for &s in ss {
+                    let d = indegree.get_mut(&s).expect("vertex");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+        seen == self.verts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcast_types::ClientId;
+
+    fn id(seq: u32) -> MsgId {
+        MsgId::new(ClientId(0), seq)
+    }
+
+    fn vref(seq: u32, ranks: &[u16]) -> MsgRef {
+        MsgRef {
+            id: id(seq),
+            dst: DestSet::try_from_ranks(ranks.iter().copied()).unwrap(),
+        }
+    }
+
+    #[test]
+    fn record_delivery_builds_a_chain() {
+        let mut h = History::new();
+        h.record_delivery(vref(1, &[0]));
+        h.record_delivery(vref(2, &[0, 1]));
+        h.record_delivery(vref(3, &[0]));
+        assert_eq!(h.last_delivered(), Some(id(3)));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.edge_count(), 2);
+        assert!(h.reaches(id(1), id(3)));
+        assert!(!h.reaches(id(3), id(1)));
+    }
+
+    #[test]
+    fn reaches_is_reflexive_and_transitive() {
+        let mut h = History::new();
+        for s in 1..=4 {
+            h.insert_vert(vref(s, &[0]));
+        }
+        h.insert_edge(id(1), id(2));
+        h.insert_edge(id(2), id(3));
+        assert!(h.reaches(id(1), id(1)));
+        assert!(h.reaches(id(1), id(3)));
+        assert!(!h.reaches(id(1), id(4)));
+    }
+
+    #[test]
+    fn insert_edge_requires_vertices() {
+        let mut h = History::new();
+        h.insert_vert(vref(1, &[0]));
+        h.insert_edge(id(1), id(2)); // 2 unknown → dropped
+        assert_eq!(h.edge_count(), 0);
+        h.insert_edge(id(1), id(1)); // self loop → dropped
+        assert_eq!(h.edge_count(), 0);
+    }
+
+    #[test]
+    fn merge_applies_delta_and_respects_skip() {
+        let mut h = History::new();
+        let delta = HistoryDelta {
+            verts: vec![vref(1, &[0]), vref(2, &[1]), vref(3, &[0, 1])],
+            edges: vec![(id(1), id(2)), (id(2), id(3))],
+        };
+        h.merge(&delta, |m| m == id(2));
+        assert!(h.contains(id(1)));
+        assert!(!h.contains(id(2)), "skipped vertex not merged");
+        assert!(h.contains(id(3)));
+        assert_eq!(h.edge_count(), 0, "edges touching skipped vertex dropped");
+    }
+
+    #[test]
+    fn blocking_predecessor_walks_transitively() {
+        // 1 → 2 → 3, with 1 addressed to g=5 and undelivered.
+        let mut h = History::new();
+        h.insert_vert(vref(1, &[5]));
+        h.insert_vert(vref(2, &[1]));
+        h.insert_vert(vref(3, &[5]));
+        h.insert_edge(id(1), id(2));
+        h.insert_edge(id(2), id(3));
+        let delivered = BTreeSet::new();
+        assert_eq!(
+            h.blocking_predecessor(id(3), GroupId(5), &delivered),
+            Some(id(1))
+        );
+        let delivered: BTreeSet<MsgId> = [id(1)].into();
+        assert_eq!(h.blocking_predecessor(id(3), GroupId(5), &delivered), None);
+    }
+
+    #[test]
+    fn blocking_predecessor_ignores_self() {
+        let mut h = History::new();
+        h.insert_vert(vref(1, &[2]));
+        let delivered = BTreeSet::new();
+        // m itself is undelivered and addressed to g, but only *strict*
+        // predecessors can block it.
+        assert_eq!(h.blocking_predecessor(id(1), GroupId(2), &delivered), None);
+    }
+
+    #[test]
+    fn open_dependencies_filters_by_group_and_delivery() {
+        let mut h = History::new();
+        h.insert_vert(vref(1, &[3]));
+        h.insert_vert(vref(2, &[3]));
+        h.insert_vert(vref(3, &[4]));
+        let delivered: BTreeSet<MsgId> = [id(1)].into();
+        let open = h.open_dependencies(GroupId(3), &delivered);
+        assert_eq!(open, [id(2)].into());
+    }
+
+    #[test]
+    fn contains_msg_to() {
+        let mut h = History::new();
+        h.insert_vert(vref(1, &[2, 4]));
+        assert!(h.contains_msg_to(GroupId(2)));
+        assert!(h.contains_msg_to(GroupId(4)));
+        assert!(!h.contains_msg_to(GroupId(3)));
+    }
+
+    #[test]
+    fn prune_before_removes_strict_past() {
+        let mut h = History::new();
+        for s in 1..=5 {
+            h.insert_vert(vref(s, &[0]));
+        }
+        // 1 → 2 → 4(fence), 3 → 4, 4 → 5.
+        h.insert_edge(id(1), id(2));
+        h.insert_edge(id(2), id(4));
+        h.insert_edge(id(3), id(4));
+        h.insert_edge(id(4), id(5));
+        let mut vc = [5usize];
+        let mut ec = [4usize];
+        let pruned = h.prune_before(id(4), &mut vc, &mut ec);
+        assert_eq!(pruned, vec![id(1), id(2), id(3)]);
+        assert!(h.contains(id(4)));
+        assert!(h.contains(id(5)));
+        assert_eq!(h.len(), 2);
+        assert!(h.reaches(id(4), id(5)), "future edges survive");
+        assert!(h.is_acyclic());
+        // Cursor remap: the descendant had seen all 5 vertices; 3 were
+        // pruned, so its cursor now covers the 2 retained ones.
+        assert_eq!(vc[0], 2);
+        assert_eq!(h.vert_log_len(), 2);
+        assert!(h.verts_since(vc[0]).is_empty(), "nothing new to send");
+        assert_eq!(h.edges_since(0).len(), h.edge_log_len());
+    }
+
+    #[test]
+    fn diff_logs_track_insertion_order() {
+        let mut h = History::new();
+        h.record_delivery(vref(1, &[0]));
+        h.record_delivery(vref(2, &[0]));
+        assert_eq!(h.vert_log_len(), 2);
+        assert_eq!(h.edge_log_len(), 1);
+        let suffix = h.verts_since(1);
+        assert_eq!(suffix.len(), 1);
+        assert_eq!(suffix[0].id, id(2));
+        // Duplicate inserts do not grow the logs.
+        h.insert_vert(vref(1, &[0]));
+        h.insert_edge(id(1), id(2));
+        assert_eq!(h.vert_log_len(), 2);
+        assert_eq!(h.edge_log_len(), 1);
+    }
+
+    #[test]
+    fn contains_msg_to_tracks_prune() {
+        let mut h = History::new();
+        h.insert_vert(vref(1, &[3]));
+        h.insert_vert(vref(2, &[0]));
+        h.insert_edge(id(1), id(2));
+        assert!(h.contains_msg_to(GroupId(3)));
+        let _ = h.prune_before(id(2), &mut [], &mut []);
+        assert!(!h.contains_msg_to(GroupId(3)), "pruned vertex uncounted");
+        assert!(h.contains_msg_to(GroupId(0)), "fence itself retained");
+    }
+
+    #[test]
+    fn prune_with_unknown_fence_is_noop() {
+        let mut h = History::new();
+        h.insert_vert(vref(1, &[0]));
+        assert!(h.prune_before(id(9), &mut [], &mut []).is_empty());
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn acyclicity_detector() {
+        let mut h = History::new();
+        h.insert_vert(vref(1, &[0]));
+        h.insert_vert(vref(2, &[0]));
+        h.insert_edge(id(1), id(2));
+        assert!(h.is_acyclic());
+        h.insert_edge(id(2), id(1));
+        assert!(!h.is_acyclic());
+    }
+
+    #[test]
+    fn msgref_lca() {
+        assert_eq!(vref(1, &[3, 7]).lca(), GroupId(3));
+    }
+}

@@ -1,0 +1,35 @@
+//! gTPC-C: the geographically distributed TPC-C variant of the paper
+//! (§5.3).
+//!
+//! gTPC-C translates TPC-C warehouses into groups (one per AWS region) and
+//! TPC-C transactions into multicast messages addressed to the warehouses
+//! they touch. The twist over stock TPC-C is *locality*: a client's home
+//! warehouse is the nearest one, and when a transaction needs an
+//! additional warehouse it picks the warehouse nearest to the home one
+//! with probability `locality` (the locality rate), otherwise the next
+//! nearest with the same probability, and so on out to the farthest —
+//! modelling a wholesale supplier shipping from the closest stocked
+//! warehouse.
+//!
+//! Two workload modes mirror the paper's experiments:
+//!
+//! * **full** ([`WorkloadMode::Full`]) — the standard mix: new order 45 %,
+//!   payment 43 %, order status / delivery / stock level 4 % each (the
+//!   last three are single-warehouse). Used in the throughput experiment
+//!   (Figure 6).
+//! * **global-only** ([`WorkloadMode::GlobalOnly`]) — new order and
+//!   payment only, always involving two or more warehouses. Used in the
+//!   latency experiments (Figures 5 and 7, Tables 2 and 3), because all
+//!   protocols behave identically on single-group messages.
+//!
+//! Messages to more than three warehouses are rare in TPC-C; following
+//! §5.3 the generator caps destination sets at three warehouses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod txn;
+pub mod workload;
+
+pub use txn::{Transaction, TxnType};
+pub use workload::{Generator, WorkloadConfig, WorkloadMode};

@@ -1,0 +1,491 @@
+//! Simulator actors: protocol servers and closed-loop gTPC-C clients.
+
+use crate::checker::DeliveryEvent;
+use crate::netmsg::NetMsg;
+use flexcast_baselines::{hier, skeen, HierGroup, SkeenGroup};
+use flexcast_core::{FlexCastGroup, Output as FlexOutput};
+use flexcast_overlay::{CDagOrder, Tree};
+use flexcast_sim::{Actor, Ctx, SimTime};
+use flexcast_types::{ClientId, GroupId, Message, MsgId};
+use flexcast_gtpcc::Generator;
+
+/// Maps a client id to its simulator process id (clients sit after the
+/// `n_servers` server processes).
+pub fn client_pid(n_servers: usize, c: ClientId) -> usize {
+    n_servers + c.0 as usize
+}
+
+/// Per-server traffic statistics (Figure 8 and the overhead metric §5.8).
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Messages received, of any kind.
+    pub received_msgs: u64,
+    /// Total bytes received (wire-format encoded sizes).
+    pub received_bytes: u64,
+    /// Payload-carrying messages received.
+    pub received_payloads: u64,
+    /// Messages delivered to the application.
+    pub delivered: u64,
+    /// Messages sent, of any kind.
+    pub sent_msgs: u64,
+    /// Total bytes sent.
+    pub sent_bytes: u64,
+}
+
+impl ServerStats {
+    /// The paper's communication overhead: `1 − delivered ⁄ received`
+    /// over payload messages, as a fraction in `[0, 1]`.
+    pub fn overhead(&self) -> f64 {
+        if self.received_payloads == 0 {
+            0.0
+        } else {
+            1.0 - (self.delivered as f64 / self.received_payloads as f64)
+        }
+    }
+}
+
+/// Which protocol a server runs, with the per-protocol engine state.
+enum EngineKind {
+    Flex {
+        engine: FlexCastGroup,
+        order: CDagOrder,
+    },
+    Skeen(SkeenGroup),
+    Hier(HierGroup),
+}
+
+/// A protocol server at one node (AWS region).
+pub struct ServerActor {
+    node: GroupId,
+    n_servers: usize,
+    engine: EngineKind,
+    /// Traffic statistics.
+    pub stats: ServerStats,
+    /// Ordered delivery log for the property checker.
+    pub deliveries: Vec<DeliveryEvent>,
+}
+
+impl ServerActor {
+    /// Creates a FlexCast server for `node`; the engine runs in rank space
+    /// as defined by `order`.
+    pub fn flexcast(node: GroupId, n_servers: usize, order: CDagOrder) -> Self {
+        let rank = order.rank_of(node);
+        ServerActor {
+            node,
+            n_servers,
+            engine: EngineKind::Flex {
+                engine: FlexCastGroup::new(rank, n_servers as u16),
+                order,
+            },
+            stats: ServerStats::default(),
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Creates a Skeen server for `node`.
+    pub fn skeen(node: GroupId, n_servers: usize) -> Self {
+        ServerActor {
+            node,
+            n_servers,
+            engine: EngineKind::Skeen(SkeenGroup::new(node)),
+            stats: ServerStats::default(),
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Creates a hierarchical server for `node` on `tree`.
+    pub fn hier(node: GroupId, n_servers: usize, tree: Tree) -> Self {
+        ServerActor {
+            node,
+            n_servers,
+            engine: EngineKind::Hier(HierGroup::new(node, tree)),
+            stats: ServerStats::default(),
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// The node this server represents.
+    pub fn node(&self) -> GroupId {
+        self.node
+    }
+
+    /// The FlexCast engine, if this server runs FlexCast (diagnostics).
+    pub fn flex_engine(&self) -> Option<&FlexCastGroup> {
+        match &self.engine {
+            EngineKind::Flex { engine, .. } => Some(engine),
+            _ => None,
+        }
+    }
+
+    fn deliver(&mut self, id: MsgId, now: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
+        self.stats.delivered += 1;
+        self.deliveries.push(DeliveryEvent {
+            node: self.node,
+            id,
+            at: now,
+        });
+        let reply = NetMsg::Reply { id };
+        self.send_counted(client_pid(self.n_servers, id.sender), reply, ctx);
+    }
+
+    fn send_counted(&mut self, to: usize, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg>) {
+        self.stats.sent_msgs += 1;
+        self.stats.sent_bytes += msg.wire_size() as u64;
+        ctx.send(to, msg);
+    }
+
+    fn handle_flex_outputs(&mut self, outs: Vec<FlexOutput>, ctx: &mut Ctx<'_, NetMsg>) {
+        let now = ctx.now();
+        // Split borrow: read the order before looping to map ranks.
+        for o in outs {
+            match o {
+                FlexOutput::Deliver(m) => self.deliver(m.id, now, ctx),
+                FlexOutput::Send { to, pkt } => {
+                    let node = match &self.engine {
+                        EngineKind::Flex { order, .. } => order.node_at(to),
+                        _ => unreachable!("flex outputs come from flex engines"),
+                    };
+                    self.send_counted(node.index(), NetMsg::Flex(pkt), ctx);
+                }
+            }
+        }
+    }
+
+    fn handle_skeen_outputs(&mut self, outs: Vec<skeen::Output>, ctx: &mut Ctx<'_, NetMsg>) {
+        let now = ctx.now();
+        for o in outs {
+            match o {
+                skeen::Output::Deliver(m) => self.deliver(m.id, now, ctx),
+                skeen::Output::Send { to, pkt } => {
+                    self.send_counted(to.index(), NetMsg::Skeen(pkt), ctx);
+                }
+            }
+        }
+    }
+
+    fn handle_hier_outputs(&mut self, outs: Vec<hier::Output>, ctx: &mut Ctx<'_, NetMsg>) {
+        let now = ctx.now();
+        for o in outs {
+            match o {
+                hier::Output::Deliver(m) => self.deliver(m.id, now, ctx),
+                hier::Output::Send { to, pkt } => {
+                    self.send_counted(to.index(), NetMsg::Hier(pkt), ctx);
+                }
+            }
+        }
+    }
+
+    /// Processes an incoming simulator message.
+    pub fn on_message(&mut self, from: usize, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg>) {
+        self.stats.received_msgs += 1;
+        self.stats.received_bytes += msg.wire_size() as u64;
+        if msg.is_payload() {
+            self.stats.received_payloads += 1;
+        }
+        match msg {
+            NetMsg::Client { msg: m, .. } => match &mut self.engine {
+                EngineKind::Flex { engine, order } => {
+                    // Translate the client's node-space destinations into
+                    // the engine's rank space.
+                    let ranked = Message::new(m.id, order.to_ranks(m.dst), m.payload)
+                        .expect("non-empty destinations");
+                    let mut outs = Vec::new();
+                    engine.on_client(ranked, &mut outs);
+                    self.handle_flex_outputs(outs, ctx);
+                }
+                EngineKind::Skeen(engine) => {
+                    let mut outs = Vec::new();
+                    engine.on_client(m, &mut outs);
+                    self.handle_skeen_outputs(outs, ctx);
+                }
+                EngineKind::Hier(engine) => {
+                    let mut outs = Vec::new();
+                    engine.on_message(m, &mut outs);
+                    self.handle_hier_outputs(outs, ctx);
+                }
+            },
+            NetMsg::Flex(pkt) => {
+                let EngineKind::Flex { engine, order } = &mut self.engine else {
+                    panic!("flex packet at a non-flex server");
+                };
+                let from_rank = order.rank_of(GroupId(from as u16));
+                let mut outs = Vec::new();
+                engine.on_packet(from_rank, pkt, &mut outs);
+                self.handle_flex_outputs(outs, ctx);
+            }
+            NetMsg::Skeen(pkt) => {
+                let EngineKind::Skeen(engine) = &mut self.engine else {
+                    panic!("skeen packet at a non-skeen server");
+                };
+                let mut outs = Vec::new();
+                engine.on_packet(GroupId(from as u16), pkt, &mut outs);
+                self.handle_skeen_outputs(outs, ctx);
+            }
+            NetMsg::Hier(pkt) => {
+                let EngineKind::Hier(engine) = &mut self.engine else {
+                    panic!("hier packet at a non-hier server");
+                };
+                let mut outs = Vec::new();
+                engine.on_packet(GroupId(from as u16), pkt, &mut outs);
+                self.handle_hier_outputs(outs, ctx);
+            }
+            NetMsg::Reply { .. } => panic!("servers do not receive replies"),
+        }
+    }
+}
+
+/// Where clients inject multicast messages for each protocol.
+#[derive(Clone, Debug)]
+pub enum EntryPolicy {
+    /// FlexCast: send to the node holding the lowest rank among the
+    /// destinations (`m.lca()` in rank space).
+    Flex(CDagOrder),
+    /// Skeen: send to every destination.
+    SkeenAll,
+    /// Hierarchical: send to the tree-lca of the destinations.
+    Hier(Tree),
+}
+
+impl EntryPolicy {
+    /// The server nodes that must receive the client's copy of `m`
+    /// (`m.dst` in node space).
+    pub fn entries(&self, m: &Message) -> Vec<GroupId> {
+        match self {
+            EntryPolicy::Flex(order) => {
+                let lca_rank = order
+                    .to_ranks(m.dst)
+                    .lowest()
+                    .expect("non-empty destinations");
+                vec![order.node_at(lca_rank)]
+            }
+            EntryPolicy::SkeenAll => m.dst.iter().collect(),
+            EntryPolicy::Hier(tree) => vec![tree.lca(m.dst)],
+        }
+    }
+}
+
+/// One latency sample: the k-th destination's response to one transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencySample {
+    /// When the transaction was issued.
+    pub sent_at: SimTime,
+    /// Which response this is (1 = first destination, 2 = second, ...).
+    pub rank: usize,
+    /// Client-observed latency in milliseconds.
+    pub latency_ms: f64,
+    /// Number of destinations of the transaction.
+    pub dst_count: usize,
+}
+
+struct Outstanding {
+    id: MsgId,
+    dst_count: usize,
+    sent_at: SimTime,
+    replies: usize,
+}
+
+/// A closed-loop gTPC-C client (§5.3): issues one transaction at a time,
+/// records the latency of each destination's response, and issues the next
+/// transaction when all destinations have replied.
+pub struct ClientActor {
+    client_id: ClientId,
+    home: GroupId,
+    n_servers: usize,
+    generator: Generator,
+    entry: EntryPolicy,
+    stop_issuing_at: SimTime,
+    seq: u32,
+    outstanding: Option<Outstanding>,
+    /// All latency samples collected.
+    pub samples: Vec<LatencySample>,
+    /// Fully acknowledged transactions.
+    pub completed: u64,
+    /// Destination sets of every message this client multicast (node
+    /// space), for the property checker.
+    pub issued: Vec<(MsgId, flexcast_types::DestSet)>,
+}
+
+impl ClientActor {
+    /// Creates a client homed at `home`.
+    pub fn new(
+        client_id: ClientId,
+        home: GroupId,
+        n_servers: usize,
+        generator: Generator,
+        entry: EntryPolicy,
+        stop_issuing_at: SimTime,
+    ) -> Self {
+        ClientActor {
+            client_id,
+            home,
+            n_servers,
+            generator,
+            entry,
+            stop_issuing_at,
+            seq: 0,
+            outstanding: None,
+            samples: Vec::new(),
+            completed: 0,
+            issued: Vec::new(),
+        }
+    }
+
+    /// The client's home region.
+    pub fn home(&self) -> GroupId {
+        self.home
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        let txn = self.generator.next_txn(self.home);
+        let id = MsgId::new(self.client_id, self.seq);
+        self.seq += 1;
+        let m = Message::new(id, txn.warehouses, txn.payload())
+            .expect("transactions have warehouses");
+        self.issued.push((id, m.dst));
+        self.outstanding = Some(Outstanding {
+            id,
+            dst_count: m.dst.len(),
+            sent_at: ctx.now(),
+            replies: 0,
+        });
+        for node in self.entry.entries(&m) {
+            ctx.send(
+                node.index(),
+                NetMsg::Client {
+                    msg: m.clone(),
+                    reply_to: client_pid(self.n_servers, self.client_id),
+                },
+            );
+        }
+    }
+
+    /// Handles a reply from a destination server.
+    pub fn on_message(&mut self, _from: usize, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg>) {
+        let NetMsg::Reply { id } = msg else {
+            panic!("clients only receive replies");
+        };
+        let Some(out) = &mut self.outstanding else {
+            return; // stale reply after cutoff — ignore
+        };
+        if out.id != id {
+            return; // reply for an older transaction
+        }
+        out.replies += 1;
+        self.samples.push(LatencySample {
+            sent_at: out.sent_at,
+            rank: out.replies,
+            latency_ms: ctx.now().since(out.sent_at).as_ms(),
+            dst_count: out.dst_count,
+        });
+        if out.replies == out.dst_count {
+            self.completed += 1;
+            self.outstanding = None;
+            if ctx.now() < self.stop_issuing_at {
+                self.issue(ctx);
+            }
+        }
+    }
+
+    /// Starts the closed loop.
+    pub fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        self.issue(ctx);
+    }
+}
+
+/// Periodically multicasts FlexCast flush messages for history garbage
+/// collection (§4.3: "a distinguished process periodically multicasts a
+/// flush message to all groups").
+pub struct FlushActor {
+    client_id: ClientId,
+    n_servers: usize,
+    entry: EntryPolicy,
+    period: SimTime,
+    stop_at: SimTime,
+    seq: u32,
+    /// Destination sets of issued flushes, for the checker registry.
+    pub issued: Vec<(MsgId, flexcast_types::DestSet)>,
+}
+
+impl FlushActor {
+    /// Creates a flusher issuing every `period` until `stop_at`.
+    pub fn new(
+        client_id: ClientId,
+        n_servers: usize,
+        entry: EntryPolicy,
+        period: SimTime,
+        stop_at: SimTime,
+    ) -> Self {
+        FlushActor {
+            client_id,
+            n_servers,
+            entry,
+            period,
+            stop_at,
+            seq: 0,
+            issued: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        let id = MsgId::new(self.client_id, self.seq);
+        self.seq += 1;
+        let m = FlexCastGroup::flush_message(id, self.n_servers as u16);
+        self.issued.push((id, m.dst));
+        for node in self.entry.entries(&m) {
+            ctx.send(
+                node.index(),
+                NetMsg::Client {
+                    msg: m.clone(),
+                    reply_to: client_pid(self.n_servers, self.client_id),
+                },
+            );
+        }
+        if ctx.now() + self.period < self.stop_at {
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    /// Starts the periodic flushing.
+    pub fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        ctx.set_timer(self.period, 0);
+    }
+
+    /// Timer tick: issue the next flush.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        self.flush(ctx);
+    }
+}
+
+/// The simulator actor: a server, a client, or the flusher.
+pub enum Node {
+    /// A protocol server.
+    Server(ServerActor),
+    /// A workload client.
+    Client(ClientActor),
+    /// The garbage-collection flusher (FlexCast only).
+    Flusher(FlushActor),
+}
+
+impl Actor<NetMsg> for Node {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        match self {
+            Node::Server(_) => {}
+            Node::Client(c) => c.on_start(ctx),
+            Node::Flusher(f) => f.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: usize, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg>) {
+        match self {
+            Node::Server(s) => s.on_message(from, msg, ctx),
+            Node::Client(c) => c.on_message(from, msg, ctx),
+            Node::Flusher(_) => {} // replies to flush messages are ignored
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_, NetMsg>) {
+        if let Node::Flusher(f) = self {
+            f.on_timer(ctx);
+        }
+    }
+}

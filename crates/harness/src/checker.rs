@@ -1,0 +1,288 @@
+//! Atomic multicast property checker.
+//!
+//! Validates a run's delivery trace against the five properties of §2.2:
+//! Validity, Agreement, Integrity, Prefix order, and Acyclic order. The
+//! simulator runs to quiescence with reliable channels and no crashes, so
+//! the eventual ("eventually delivers") properties must hold *exactly* at
+//! the end of a run — any gap is a protocol bug, not an artifact.
+
+use flexcast_sim::SimTime;
+use flexcast_types::{DestSet, GroupId, MsgId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One delivery observed at a server.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeliveryEvent {
+    /// The delivering node.
+    pub node: GroupId,
+    /// The delivered message.
+    pub id: MsgId,
+    /// Simulated delivery time.
+    pub at: SimTime,
+}
+
+/// The verdict for one run.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Messages multicast but not delivered at every destination.
+    pub validity_violations: Vec<MsgId>,
+    /// `(node, id)` pairs delivered more than once, or delivered at a
+    /// non-destination, or delivered without having been multicast.
+    pub integrity_violations: Vec<(GroupId, MsgId)>,
+    /// Pairs of groups that deliver two shared messages in opposite
+    /// orders, with the messages involved.
+    pub prefix_violations: Vec<(GroupId, GroupId, MsgId, MsgId)>,
+    /// True if the global precedence relation ≺ is acyclic.
+    pub acyclic: bool,
+    /// Total deliveries examined.
+    pub deliveries: usize,
+    /// Distinct messages multicast.
+    pub multicast: usize,
+}
+
+impl CheckReport {
+    /// True when every property holds.
+    pub fn all_ok(&self) -> bool {
+        self.validity_violations.is_empty()
+            && self.integrity_violations.is_empty()
+            && self.prefix_violations.is_empty()
+            && self.acyclic
+    }
+
+    /// Panics with a readable report if any property fails; used by tests
+    /// and the figure binaries as a guard rail.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.all_ok(),
+            "atomic multicast violation: validity={:?} integrity={:?} prefix={:?} acyclic={}",
+            self.validity_violations,
+            self.integrity_violations,
+            self.prefix_violations,
+            self.acyclic
+        );
+    }
+}
+
+/// Checks the trace of a quiesced run.
+///
+/// * `registry` — every multicast message and its destination set
+///   (node space), collected from the issuing clients.
+/// * `trace` — per-node delivery logs, each in delivery order.
+pub fn check(
+    registry: &BTreeMap<MsgId, DestSet>,
+    trace: &[Vec<DeliveryEvent>],
+) -> CheckReport {
+    let mut report = CheckReport {
+        acyclic: true,
+        multicast: registry.len(),
+        ..CheckReport::default()
+    };
+
+    // Integrity: at most once per node, only at destinations, only if
+    // multicast. Collect per-node orders keyed by message for prefix checks.
+    let mut delivered_at: BTreeMap<MsgId, BTreeSet<GroupId>> = BTreeMap::new();
+    let mut position: Vec<BTreeMap<MsgId, usize>> = vec![BTreeMap::new(); trace.len()];
+    for (node_idx, events) in trace.iter().enumerate() {
+        report.deliveries += events.len();
+        for (pos, ev) in events.iter().enumerate() {
+            debug_assert_eq!(ev.node.index(), node_idx, "trace grouped by node");
+            match registry.get(&ev.id) {
+                None => report.integrity_violations.push((ev.node, ev.id)),
+                Some(dst) if !dst.contains(ev.node) => {
+                    report.integrity_violations.push((ev.node, ev.id))
+                }
+                Some(_) => {}
+            }
+            if position[node_idx].insert(ev.id, pos).is_some() {
+                report.integrity_violations.push((ev.node, ev.id));
+            }
+            delivered_at.entry(ev.id).or_default().insert(ev.node);
+        }
+    }
+
+    // Validity + Agreement (quiescent run): delivered at every destination.
+    for (&id, &dst) in registry {
+        let got = delivered_at.get(&id);
+        let complete = dst
+            .iter()
+            .all(|g| got.is_some_and(|s| s.contains(&g)));
+        if !complete {
+            report.validity_violations.push(id);
+        }
+    }
+
+    // Prefix order: any two nodes deliver their shared messages in the
+    // same relative order.
+    for a in 0..trace.len() {
+        for b in (a + 1)..trace.len() {
+            let (pa, pb) = (&position[a], &position[b]);
+            // Shared messages, in a's delivery order.
+            let mut shared: Vec<MsgId> = pa
+                .keys()
+                .filter(|id| pb.contains_key(*id))
+                .copied()
+                .collect();
+            shared.sort_by_key(|id| pa[id]);
+            // b must see them in increasing position as well.
+            for w in shared.windows(2) {
+                let (x, y) = (w[0], w[1]);
+                if pb[&x] > pb[&y] {
+                    report.prefix_violations.push((
+                        GroupId(a as u16),
+                        GroupId(b as u16),
+                        x,
+                        y,
+                    ));
+                }
+            }
+        }
+    }
+
+    // Acyclic order: the union of all per-node delivery chains must be a
+    // DAG (consecutive-delivery edges generate the full ≺ relation by
+    // transitivity, so checking the union graph is exact).
+    let mut succs: BTreeMap<MsgId, BTreeSet<MsgId>> = BTreeMap::new();
+    let mut indeg: BTreeMap<MsgId, usize> = BTreeMap::new();
+    for events in trace {
+        for w in events.windows(2) {
+            let (x, y) = (w[0].id, w[1].id);
+            indeg.entry(x).or_insert(0);
+            if succs.entry(x).or_default().insert(y) {
+                *indeg.entry(y).or_insert(0) += 1;
+            }
+        }
+        if let Some(last) = events.last() {
+            indeg.entry(last.id).or_insert(0);
+        }
+    }
+    let mut ready: Vec<MsgId> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&id, _)| id)
+        .collect();
+    let mut seen = 0usize;
+    while let Some(v) = ready.pop() {
+        seen += 1;
+        if let Some(ss) = succs.get(&v) {
+            for &s in ss {
+                let d = indeg.get_mut(&s).expect("edge endpoint counted");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+    }
+    report.acyclic = seen == indeg.len();
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcast_types::ClientId;
+
+    fn id(seq: u32) -> MsgId {
+        MsgId::new(ClientId(0), seq)
+    }
+
+    fn ds(ranks: &[u16]) -> DestSet {
+        DestSet::try_from_ranks(ranks.iter().copied()).unwrap()
+    }
+
+    fn ev(node: u16, seq: u32) -> DeliveryEvent {
+        DeliveryEvent {
+            node: GroupId(node),
+            id: id(seq),
+            at: SimTime::ZERO,
+        }
+    }
+
+    fn registry(entries: &[(u32, &[u16])]) -> BTreeMap<MsgId, DestSet> {
+        entries.iter().map(|&(s, d)| (id(s), ds(d))).collect()
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let reg = registry(&[(1, &[0, 1]), (2, &[0])]);
+        let trace = vec![vec![ev(0, 1), ev(0, 2)], vec![ev(1, 1)]];
+        let r = check(&reg, &trace);
+        assert!(r.all_ok(), "{r:?}");
+        assert_eq!(r.deliveries, 3);
+        assert_eq!(r.multicast, 2);
+        r.assert_ok();
+    }
+
+    #[test]
+    fn missing_destination_is_a_validity_violation() {
+        let reg = registry(&[(1, &[0, 1])]);
+        let trace = vec![vec![ev(0, 1)], vec![]];
+        let r = check(&reg, &trace);
+        assert_eq!(r.validity_violations, vec![id(1)]);
+        assert!(!r.all_ok());
+    }
+
+    #[test]
+    fn double_delivery_is_an_integrity_violation() {
+        let reg = registry(&[(1, &[0])]);
+        let trace = vec![vec![ev(0, 1), ev(0, 1)]];
+        let r = check(&reg, &trace);
+        assert_eq!(r.integrity_violations, vec![(GroupId(0), id(1))]);
+    }
+
+    #[test]
+    fn delivery_at_non_destination_is_an_integrity_violation() {
+        let reg = registry(&[(1, &[0])]);
+        let trace = vec![vec![ev(0, 1)], vec![ev(1, 1)]];
+        let r = check(&reg, &trace);
+        assert_eq!(r.integrity_violations, vec![(GroupId(1), id(1))]);
+    }
+
+    #[test]
+    fn unregistered_delivery_is_an_integrity_violation() {
+        let reg = registry(&[]);
+        let trace = vec![vec![ev(0, 9)]];
+        let r = check(&reg, &trace);
+        assert_eq!(r.integrity_violations, vec![(GroupId(0), id(9))]);
+    }
+
+    #[test]
+    fn opposite_orders_are_a_prefix_violation() {
+        let reg = registry(&[(1, &[0, 1]), (2, &[0, 1])]);
+        let trace = vec![vec![ev(0, 1), ev(0, 2)], vec![ev(1, 2), ev(1, 1)]];
+        let r = check(&reg, &trace);
+        assert!(!r.prefix_violations.is_empty());
+        assert!(!r.acyclic, "opposite pair is also a ≺ cycle");
+    }
+
+    #[test]
+    fn three_way_cycle_detected_without_prefix_violation() {
+        // Classic acyclicity example: pairwise orders are consistent
+        // (each pair shares exactly one message ordering) but the global
+        // relation cycles: node0: m1<m2, node1: m2<m3, node2: m3<m1.
+        let reg = registry(&[(1, &[0, 2]), (2, &[0, 1]), (3, &[1, 2])]);
+        let trace = vec![
+            vec![ev(0, 1), ev(0, 2)],
+            vec![ev(1, 2), ev(1, 3)],
+            vec![ev(2, 3), ev(2, 1)],
+        ];
+        let r = check(&reg, &trace);
+        assert!(
+            r.prefix_violations.is_empty(),
+            "no pair shares two messages"
+        );
+        assert!(!r.acyclic, "m1 ≺ m2 ≺ m3 ≺ m1");
+    }
+
+    #[test]
+    fn interleaved_but_consistent_orders_pass() {
+        let reg = registry(&[(1, &[0, 1]), (2, &[0]), (3, &[0, 1])]);
+        let trace = vec![
+            vec![ev(0, 1), ev(0, 2), ev(0, 3)],
+            vec![ev(1, 1), ev(1, 3)],
+        ];
+        let r = check(&reg, &trace);
+        assert!(r.all_ok(), "{r:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! The simulator's wire message: a superset of all protocol packets.
+
+use flexcast_baselines::{HierPacket, SkeenPacket};
+use flexcast_core::Packet as FlexPacket;
+use flexcast_types::{Message, MsgId};
+use serde::{Deserialize, Serialize};
+
+/// Everything that can travel between simulated processes.
+///
+/// The enum is serde-serializable so [`NetMsg::wire_size`] can charge each
+/// message its real encoded size — that is what Figure 8's traffic
+/// accounting measures. (The simulator itself passes values in memory;
+/// only sizes are computed.)
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum NetMsg {
+    /// A client's multicast request arriving at a protocol entry point.
+    /// `reply_to` is the client's simulator process id.
+    Client {
+        /// The multicast message (destinations in *node* space).
+        msg: Message,
+        /// Simulator pid of the issuing client.
+        reply_to: usize,
+    },
+    /// FlexCast inter-group packet.
+    Flex(FlexPacket),
+    /// Skeen inter-group packet.
+    Skeen(SkeenPacket),
+    /// Hierarchical inter-group packet.
+    Hier(HierPacket),
+    /// A destination's response to the client after delivering `id`.
+    Reply {
+        /// The delivered message.
+        id: MsgId,
+    },
+}
+
+impl NetMsg {
+    /// Exact encoded size in bytes under the workspace wire format.
+    pub fn wire_size(&self) -> usize {
+        flexcast_wire::encoded_size(self).expect("net messages always encode")
+    }
+
+    /// True for messages that carry an application payload (the paper's
+    /// overhead metric counts payload messages only, §5.8).
+    pub fn is_payload(&self) -> bool {
+        match self {
+            NetMsg::Client { .. } => true,
+            NetMsg::Flex(p) => p.is_payload(),
+            NetMsg::Skeen(p) => matches!(p, SkeenPacket::Msg(_)),
+            NetMsg::Hier(_) => true,
+            NetMsg::Reply { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcast_types::{ClientId, DestSet, GroupId, Payload};
+
+    fn msg() -> Message {
+        Message::new(
+            MsgId::new(ClientId(1), 2),
+            DestSet::from_iter([GroupId(0), GroupId(3)]),
+            Payload(vec![7; 64]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn wire_size_reflects_payload() {
+        let small = NetMsg::Client {
+            msg: Message::new(msg().id, msg().dst, Payload::empty()).unwrap(),
+            reply_to: 14,
+        };
+        let big = NetMsg::Client {
+            msg: msg(),
+            reply_to: 14,
+        };
+        assert!(big.wire_size() > small.wire_size() + 60);
+        assert!(NetMsg::Reply { id: msg().id }.wire_size() < 16);
+    }
+
+    #[test]
+    fn payload_classification() {
+        assert!(NetMsg::Client {
+            msg: msg(),
+            reply_to: 0
+        }
+        .is_payload());
+        assert!(NetMsg::Hier(HierPacket(msg())).is_payload());
+        assert!(NetMsg::Skeen(SkeenPacket::Msg(msg())).is_payload());
+        assert!(!NetMsg::Skeen(SkeenPacket::Ts {
+            id: msg().id,
+            ts: 4
+        })
+        .is_payload());
+        assert!(!NetMsg::Reply { id: msg().id }.is_payload());
+    }
+}

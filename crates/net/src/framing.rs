@@ -1,0 +1,83 @@
+//! Length-prefixed framing over byte streams.
+
+use bytes::{Buf, BufMut, BytesMut};
+use flexcast_types::{Error, Result};
+use std::io::{Read, Write};
+
+/// Maximum accepted frame size (16 MiB) — a defence against corrupt
+/// length prefixes allocating unbounded memory.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes one frame: a little-endian `u32` length followed by the body.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(Error::Encode(format!("frame of {} bytes too large", body.len())));
+    }
+    let mut header = BytesMut::with_capacity(4);
+    header.put_u32_le(body.len() as u32);
+    w.write_all(&header)?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame written by [`write_frame`]. Returns `Ok(None)` on a
+/// clean end-of-stream at a frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match r.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = (&header[..]).get_u32_le() as usize;
+    if len > MAX_FRAME {
+        return Err(Error::Decode(format!("frame length {len} exceeds maximum")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), vec![7u8; 1000]);
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // header + 2 bytes of body
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        let mut cur = Cursor::new(buf.to_vec());
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let body = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &body).is_err());
+    }
+}

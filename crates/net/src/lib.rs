@@ -1,0 +1,23 @@
+//! Thread-based TCP runtime for the protocol engines.
+//!
+//! The simulator (`flexcast-sim`) is the primary evaluation substrate, but
+//! a reproduction a downstream user can adopt needs to run on a real
+//! network too. This crate provides that: length-prefixed framing over
+//! TCP ([`framing`]), a per-node runtime with one reader thread per
+//! inbound connection and one writer thread per outbound connection
+//! ([`runtime::NodeRuntime`]), and FIFO reliable delivery per link — the
+//! channel model the paper assumes — courtesy of TCP itself.
+//!
+//! The runtime is engine-agnostic: it moves opaque byte frames tagged with
+//! the sender's node id. Callers encode protocol packets with
+//! `flexcast-wire` (see the `fault_tolerant_group` and integration-test
+//! usages in the workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod framing;
+pub mod runtime;
+
+pub use framing::{read_frame, write_frame, MAX_FRAME};
+pub use runtime::NodeRuntime;

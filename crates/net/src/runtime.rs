@@ -1,0 +1,219 @@
+//! Per-node TCP runtime.
+
+use crate::framing::{read_frame, write_frame};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use flexcast_types::{Error, GroupId, Result};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The handshake/header frame identifying the sender of a connection.
+#[derive(Serialize, Deserialize)]
+struct Hello {
+    from: u16,
+}
+
+/// A received frame: the sending node and the opaque body.
+pub type Incoming = (GroupId, Vec<u8>);
+
+/// A node endpoint: accepts inbound connections, dials peers, and moves
+/// opaque frames with FIFO-per-link reliability (TCP's own guarantee —
+/// exactly the channel model of the paper's §2.1).
+///
+/// Threads: one acceptor, one reader per inbound connection, one writer
+/// per outbound connection. All incoming frames funnel into a single
+/// channel consumed via [`NodeRuntime::recv_timeout`], so the caller can
+/// run its protocol engine single-threaded — matching the engines'
+/// deterministic, sans-io design.
+pub struct NodeRuntime {
+    id: GroupId,
+    addr: SocketAddr,
+    incoming_rx: Receiver<Incoming>,
+    /// Writer channels per peer.
+    outgoing: Arc<Mutex<HashMap<GroupId, Sender<Vec<u8>>>>>,
+    /// Keep thread handles so Drop can detach cleanly.
+    _threads: Vec<JoinHandle<()>>,
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl NodeRuntime {
+    /// Binds a node runtime on `addr` (use port 0 for an ephemeral port;
+    /// the bound address is available via [`NodeRuntime::local_addr`]).
+    pub fn bind(id: GroupId, addr: SocketAddr) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let (in_tx, in_rx) = unbounded::<Incoming>();
+        let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let acceptor_tx = in_tx.clone();
+        let stop = shutdown.clone();
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let tx = acceptor_tx.clone();
+                std::thread::spawn(move || {
+                    let _ = reader_loop(stream, tx);
+                });
+            }
+        });
+
+        Ok(NodeRuntime {
+            id,
+            addr: local,
+            incoming_rx: in_rx,
+            outgoing: Arc::new(Mutex::new(HashMap::new())),
+            _threads: vec![acceptor],
+            shutdown,
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> GroupId {
+        self.id
+    }
+
+    /// The address this runtime listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Dials a peer and registers it for [`NodeRuntime::send`]. The
+    /// connection announces this node's id so the peer can attribute
+    /// frames.
+    pub fn connect(&mut self, peer: GroupId, addr: SocketAddr) -> Result<()> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let hello = flexcast_wire::to_bytes(&Hello { from: self.id.rank() })?;
+        write_frame(&mut stream, &hello)?;
+
+        let (tx, rx) = unbounded::<Vec<u8>>();
+        self.outgoing.lock().insert(peer, tx);
+        let writer = std::thread::spawn(move || {
+            for body in rx.iter() {
+                if write_frame(&mut stream, &body).is_err() {
+                    break;
+                }
+            }
+        });
+        self._threads.push(writer);
+        Ok(())
+    }
+
+    /// Queues a frame to `peer` (must be connected). Frames to one peer
+    /// are delivered in send order.
+    pub fn send(&self, peer: GroupId, body: Vec<u8>) -> Result<()> {
+        let guard = self.outgoing.lock();
+        let tx = guard
+            .get(&peer)
+            .ok_or_else(|| Error::Config(format!("no connection to {peer}")))?;
+        tx.send(body)
+            .map_err(|_| Error::Config(format!("connection to {peer} closed")))
+    }
+
+    /// Receives the next frame from any peer, or `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Incoming> {
+        self.incoming_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains any frames already queued, without blocking.
+    pub fn drain(&self) -> Vec<Incoming> {
+        self.incoming_rx.try_iter().collect()
+    }
+}
+
+impl Drop for NodeRuntime {
+    fn drop(&mut self) {
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        // Nudge the acceptor out of `incoming()` by dialing ourselves.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, tx: Sender<Incoming>) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    // First frame is the hello header.
+    let Some(hello_bytes) = read_frame(&mut stream)? else {
+        return Ok(());
+    };
+    let hello: Hello = flexcast_wire::from_bytes(&hello_bytes)?;
+    let from = GroupId(hello.from);
+    while let Some(body) = read_frame(&mut stream)? {
+        if tx.send((from, body)).is_err() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ephemeral(id: u16) -> NodeRuntime {
+        NodeRuntime::bind(GroupId(id), "127.0.0.1:0".parse().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn frames_flow_between_two_nodes() {
+        let a = ephemeral(0);
+        let b = ephemeral(1);
+        let mut a = a;
+        a.connect(GroupId(1), b.local_addr()).unwrap();
+        a.send(GroupId(1), b"ping".to_vec()).unwrap();
+        let (from, body) = b.recv_timeout(Duration::from_secs(5)).expect("frame");
+        assert_eq!(from, GroupId(0));
+        assert_eq!(body, b"ping");
+    }
+
+    #[test]
+    fn per_link_fifo_order() {
+        let mut a = ephemeral(0);
+        let b = ephemeral(1);
+        a.connect(GroupId(1), b.local_addr()).unwrap();
+        for i in 0..100u32 {
+            a.send(GroupId(1), i.to_le_bytes().to_vec()).unwrap();
+        }
+        for i in 0..100u32 {
+            let (_, body) = b.recv_timeout(Duration::from_secs(5)).expect("frame");
+            assert_eq!(u32::from_le_bytes(body.try_into().unwrap()), i);
+        }
+    }
+
+    #[test]
+    fn send_to_unknown_peer_errors() {
+        let a = ephemeral(0);
+        assert!(a.send(GroupId(9), vec![1]).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let a = ephemeral(0);
+        assert!(a.recv_timeout(Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn three_node_fanin() {
+        let c = ephemeral(2);
+        let mut a = ephemeral(0);
+        let mut b = ephemeral(1);
+        a.connect(GroupId(2), c.local_addr()).unwrap();
+        b.connect(GroupId(2), c.local_addr()).unwrap();
+        a.send(GroupId(2), b"from-a".to_vec()).unwrap();
+        b.send(GroupId(2), b"from-b".to_vec()).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            got.push(c.recv_timeout(Duration::from_secs(5)).expect("frame"));
+        }
+        got.sort_by_key(|(from, _)| *from);
+        assert_eq!(got[0], (GroupId(0), b"from-a".to_vec()));
+        assert_eq!(got[1], (GroupId(1), b"from-b".to_vec()));
+    }
+}

@@ -1,0 +1,178 @@
+//! Inter-node latency model.
+
+use flexcast_types::{Error, GroupId, Result};
+
+/// A symmetric round-trip-time matrix between `n` nodes, in milliseconds.
+///
+/// The paper emulates a wide-area network whose latencies mimic Amazon EC2
+/// ([cloudping measurements], §5.2). The simulator charges half the RTT for
+/// each one-way message. Values are stored densely (`n × n`), with zeros on
+/// the diagonal; intra-node latency models the local switched network and
+/// can be set with [`LatencyMatrix::set_local`].
+///
+/// [cloudping measurements]: https://www.cloudping.co/
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyMatrix {
+    n: usize,
+    rtt_ms: Vec<f64>,
+}
+
+impl LatencyMatrix {
+    /// Creates an all-zero matrix for `n` nodes.
+    pub fn zero(n: usize) -> Self {
+        LatencyMatrix {
+            n,
+            rtt_ms: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds a matrix from the strict upper triangle given row by row:
+    /// `upper[i]` holds the RTTs from node `i` to nodes `i+1..n`.
+    ///
+    /// Returns an error if the triangle shape does not match `n` or any
+    /// value is negative/non-finite.
+    pub fn from_upper_triangle(n: usize, upper: &[&[f64]]) -> Result<Self> {
+        if upper.len() != n.saturating_sub(1) {
+            return Err(Error::Config(format!(
+                "expected {} upper-triangle rows, got {}",
+                n.saturating_sub(1),
+                upper.len()
+            )));
+        }
+        let mut m = Self::zero(n);
+        for (i, row) in upper.iter().enumerate() {
+            if row.len() != n - i - 1 {
+                return Err(Error::Config(format!(
+                    "row {i}: expected {} entries, got {}",
+                    n - i - 1,
+                    row.len()
+                )));
+            }
+            for (k, &v) in row.iter().enumerate() {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(Error::Config(format!("invalid RTT {v} at ({i},{})", i + 1 + k)));
+                }
+                let j = i + 1 + k;
+                m.set_rtt(i, j, v);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets the symmetric RTT between nodes `a` and `b`.
+    pub fn set_rtt(&mut self, a: usize, b: usize, rtt_ms: f64) {
+        assert!(a < self.n && b < self.n, "node index out of range");
+        self.rtt_ms[a * self.n + b] = rtt_ms;
+        self.rtt_ms[b * self.n + a] = rtt_ms;
+    }
+
+    /// Sets the RTT a node observes to itself (local network round trip).
+    pub fn set_local(&mut self, node: usize, rtt_ms: f64) {
+        assert!(node < self.n, "node index out of range");
+        self.rtt_ms[node * self.n + node] = rtt_ms;
+    }
+
+    /// Round-trip time between two nodes in milliseconds.
+    pub fn rtt(&self, a: GroupId, b: GroupId) -> f64 {
+        assert!(a.index() < self.n && b.index() < self.n, "node out of range");
+        self.rtt_ms[a.index() * self.n + b.index()]
+    }
+
+    /// One-way latency (half the RTT) between two nodes in milliseconds.
+    pub fn one_way(&self, a: GroupId, b: GroupId) -> f64 {
+        self.rtt(a, b) / 2.0
+    }
+
+    /// Nodes sorted by ascending RTT from `from`, excluding `from` itself.
+    ///
+    /// This is the "closest warehouse" order used both by the gTPC-C
+    /// locality model (§5.3) and by the greedy C-DAG constructions (§5.4).
+    /// Ties break by node id so the order is deterministic.
+    pub fn nearest_order(&self, from: GroupId) -> Vec<GroupId> {
+        let mut order: Vec<GroupId> = (0..self.n as u16)
+            .map(GroupId)
+            .filter(|&g| g != from)
+            .collect();
+        order.sort_by(|&a, &b| {
+            self.rtt(from, a)
+                .partial_cmp(&self.rtt(from, b))
+                .expect("RTTs are finite")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// The single nearest node to `from` (`None` for a 1-node matrix).
+    pub fn nearest(&self, from: GroupId) -> Option<GroupId> {
+        self.nearest_order(from).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri3() -> LatencyMatrix {
+        // 0-1: 10, 0-2: 30, 1-2: 20
+        LatencyMatrix::from_upper_triangle(3, &[&[10.0, 30.0], &[20.0]]).unwrap()
+    }
+
+    #[test]
+    fn upper_triangle_is_symmetric() {
+        let m = tri3();
+        assert_eq!(m.rtt(GroupId(0), GroupId(1)), 10.0);
+        assert_eq!(m.rtt(GroupId(1), GroupId(0)), 10.0);
+        assert_eq!(m.rtt(GroupId(2), GroupId(0)), 30.0);
+        assert_eq!(m.rtt(GroupId(1), GroupId(2)), 20.0);
+        assert_eq!(m.rtt(GroupId(1), GroupId(1)), 0.0);
+    }
+
+    #[test]
+    fn one_way_is_half_rtt() {
+        let m = tri3();
+        assert_eq!(m.one_way(GroupId(0), GroupId(2)), 15.0);
+    }
+
+    #[test]
+    fn local_latency_configurable() {
+        let mut m = tri3();
+        m.set_local(1, 0.4);
+        assert_eq!(m.rtt(GroupId(1), GroupId(1)), 0.4);
+        assert_eq!(m.rtt(GroupId(0), GroupId(0)), 0.0);
+    }
+
+    #[test]
+    fn nearest_order_sorts_by_rtt() {
+        let m = tri3();
+        assert_eq!(m.nearest_order(GroupId(0)), vec![GroupId(1), GroupId(2)]);
+        assert_eq!(m.nearest_order(GroupId(2)), vec![GroupId(1), GroupId(0)]);
+        assert_eq!(m.nearest(GroupId(1)), Some(GroupId(0)));
+    }
+
+    #[test]
+    fn nearest_order_breaks_ties_by_id() {
+        let mut m = LatencyMatrix::zero(3);
+        m.set_rtt(0, 1, 10.0);
+        m.set_rtt(0, 2, 10.0);
+        assert_eq!(m.nearest_order(GroupId(0)), vec![GroupId(1), GroupId(2)]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(LatencyMatrix::from_upper_triangle(3, &[&[1.0]]).is_err());
+        assert!(LatencyMatrix::from_upper_triangle(3, &[&[1.0, 2.0], &[]]).is_err());
+        assert!(LatencyMatrix::from_upper_triangle(2, &[&[-4.0]]).is_err());
+        assert!(LatencyMatrix::from_upper_triangle(2, &[&[f64::NAN]]).is_err());
+        assert!(LatencyMatrix::from_upper_triangle(1, &[]).is_ok());
+    }
+}

@@ -1,0 +1,34 @@
+//! Communication overlays for atomic multicast.
+//!
+//! The FlexCast paper classifies atomic multicast protocols by the overlay
+//! that constrains group-to-group communication (Table 1):
+//!
+//! * *distributed* protocols (Skeen) assume a fully connected overlay,
+//! * *hierarchical* protocols (ByzCast) restrict communication to a tree,
+//! * *FlexCast* assumes a complete directed acyclic graph (C-DAG): groups
+//!   are totally ordered by rank and each group has a directed edge to every
+//!   higher-ranked group.
+//!
+//! This crate provides:
+//!
+//! * [`LatencyMatrix`] and [`regions::aws12`] — the emulated 12-region AWS
+//!   WAN from the paper's evaluation (§5.2),
+//! * [`CDagOrder`] — a rank assignment (permutation of nodes) defining a
+//!   C-DAG, with the greedy nearest-neighbour construction used for the
+//!   paper's overlays O1 and O2 (§5.4),
+//! * [`Tree`] — rooted tree overlays with the tree-lca routing used by the
+//!   hierarchical baseline, plus the paper's trees T1, T2, T3,
+//! * [`presets`] — one constructor per overlay in Figure 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdag;
+pub mod latency;
+pub mod presets;
+pub mod regions;
+pub mod tree;
+
+pub use cdag::CDagOrder;
+pub use latency::LatencyMatrix;
+pub use tree::Tree;

@@ -1,0 +1,190 @@
+//! The concrete overlays of the paper's Figure 4.
+//!
+//! The published figure gives the reading order of each overlay but not a
+//! machine-readable definition; these constructions follow the paper's
+//! prose exactly:
+//!
+//! * **O1/O2** (§5.4): "we initially selected a starting node (i.e., central
+//!   node 8 in O1 and left-most node 1 in O2). Then, the closest node to the
+//!   initial one, the closest node to the second chosen node, and so on."
+//! * **T1**: regional subtrees — the root lies in Europe and "groups 5 and 9
+//!   present high overhead as they are roots of different subtrees that
+//!   represent separate geographical regions (America and Asia)" (§5.8).
+//! * **T2**: more inner nodes than T1; "groups 5 and 7 of disjoint subtrees
+//!   present the highest overheads" (§5.8).
+//! * **T3**: fewest-latency-levels tree whose root (group 6) absorbs most of
+//!   the overhead ("penalizing group 6, which has to endure 56 % of
+//!   overhead", §5.8) — realized as a two-level star.
+//!
+//! Paper group *k* is node `GroupId(k-1)` here (see [`crate::regions`]).
+
+use crate::tree::parents_of;
+use crate::{regions, CDagOrder, Tree};
+use flexcast_types::GroupId;
+
+/// Overlay O1: greedy nearest-neighbour C-DAG seeded at central node 8
+/// (paper numbering; `GroupId(7)` = eu-west-2, London).
+pub fn o1() -> CDagOrder {
+    CDagOrder::nearest_neighbor_chain(&regions::aws12(), GroupId(7))
+}
+
+/// Overlay O2: greedy nearest-neighbour C-DAG seeded at left-most node 1
+/// (paper numbering; `GroupId(0)` = us-east-1, Virginia).
+pub fn o2() -> CDagOrder {
+    CDagOrder::nearest_neighbor_chain(&regions::aws12(), GroupId(0))
+}
+
+/// Tree T1: three regional subtrees under a European root.
+///
+/// ```text
+///                 6 (eu-west-1)
+///        ┌─────────┼──────────┐
+///        5 (sa-east-1)  7  8  9 (ap-south-1)
+///     ┌──┼──┬──┐              ┌──┼──┐
+///     1  2  3  4             10  11  12      (paper numbering)
+/// ```
+pub fn t1() -> Tree {
+    Tree::from_parents(parents_of(
+        12,
+        5, // root: paper group 6 → node 5
+        &[
+            // America subtree under paper group 5 (node 4).
+            (0, 4),
+            (1, 4),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+            // Europe leaves under the root.
+            (6, 5),
+            (7, 5),
+            // Asia subtree under paper group 9 (node 8).
+            (8, 5),
+            (9, 8),
+            (10, 8),
+            (11, 8),
+        ],
+    ))
+    .expect("T1 is a valid tree")
+}
+
+/// Tree T2: a deeper tree with seven inner nodes; disjoint subtrees rooted
+/// at paper groups 5 (America) and 7 (Europe + Asia) sit under the root.
+///
+/// ```text
+///                 8 (eu-west-2)
+///              ┌──┴────────┐
+///              5           7
+///          ┌───┴──┐     ┌──┴──┐
+///          1      3     6     9
+///          │      │         ┌─┴─┐
+///          2      4        10   11
+///                                │
+///                               12           (paper numbering)
+/// ```
+pub fn t2() -> Tree {
+    Tree::from_parents(parents_of(
+        12,
+        7, // root: paper group 8 → node 7
+        &[
+            (4, 7), // 5 under 8
+            (6, 7), // 7 under 8
+            (0, 4), // 1 under 5
+            (2, 4), // 3 under 5
+            (1, 0), // 2 under 1
+            (3, 2), // 4 under 3
+            (5, 6), // 6 under 7
+            (8, 6), // 9 under 7
+            (9, 8),  // 10 under 9
+            (10, 8), // 11 under 9
+            (11, 10), // 12 under 11
+        ],
+    ))
+    .expect("T2 is a valid tree")
+}
+
+/// Tree T3: a two-level star rooted at paper group 6 (node 5); the root is
+/// the tree-lca of every global message not addressed to it, hence the 56 %
+/// overhead concentration the paper reports.
+pub fn t3() -> Tree {
+    let edges: Vec<(u16, u16)> = (0..12u16).filter(|&i| i != 5).map(|i| (i, 5)).collect();
+    Tree::from_parents(parents_of(12, 5, &edges)).expect("T3 is a valid tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcast_types::DestSet;
+
+    #[test]
+    fn o1_starts_at_london_o2_at_virginia() {
+        assert_eq!(o1().node_at(GroupId(0)), GroupId(7));
+        assert_eq!(o2().node_at(GroupId(0)), GroupId(0));
+    }
+
+    #[test]
+    fn o1_chain_respects_geography() {
+        let o = o1();
+        // London's nearest is Ireland (12 ms): rank 1 must be node 5.
+        assert_eq!(o.node_at(GroupId(1)), GroupId(5));
+        // The full order is a permutation of 12 nodes.
+        assert_eq!(o.len(), 12);
+        let mut nodes: Vec<usize> = o.order().iter().map(|g| g.index()).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn o2_walks_america_first() {
+        let o = o2();
+        // Virginia → Ohio is the closest first hop.
+        assert_eq!(o.node_at(GroupId(1)), GroupId(1));
+        // The North-American mainland (nodes 0..4) fills the first four
+        // ranks before the chain crosses an ocean.
+        for rank in 0..4u16 {
+            assert!(o.node_at(GroupId(rank)).index() < 4);
+        }
+        // São Paulo is far from every other region and lands late.
+        assert!(o.rank_of(GroupId(4)).rank() >= 8);
+    }
+
+    #[test]
+    fn t1_shape_matches_paper_narrative() {
+        let t = t1();
+        assert_eq!(t.root(), GroupId(5)); // paper group 6
+        assert_eq!(t.children(GroupId(4)).len(), 4); // America under group 5
+        assert_eq!(t.children(GroupId(8)).len(), 3); // Asia under group 9
+        assert_eq!(t.inner_nodes().len(), 3);
+        // America-internal traffic passes through node 4 (paper group 5).
+        let lca = t.lca(DestSet::from_iter([GroupId(0), GroupId(1)]));
+        assert_eq!(lca, GroupId(4));
+        assert!(!DestSet::from_iter([GroupId(0), GroupId(1)]).contains(lca));
+    }
+
+    #[test]
+    fn t2_has_more_inner_nodes_than_t1() {
+        assert!(t2().inner_nodes().len() > t1().inner_nodes().len());
+        assert_eq!(t2().root(), GroupId(7));
+        // Paper groups 5 and 7 (nodes 4 and 6) root disjoint subtrees.
+        let t = t2();
+        assert!(t.is_inner(GroupId(4)));
+        assert!(t.is_inner(GroupId(6)));
+        assert!(!t.is_ancestor_or_self(GroupId(4), GroupId(6)));
+        assert!(!t.is_ancestor_or_self(GroupId(6), GroupId(4)));
+    }
+
+    #[test]
+    fn t3_is_a_star_rooted_at_group6() {
+        let t = t3();
+        assert_eq!(t.root(), GroupId(5));
+        assert_eq!(t.inner_nodes(), vec![GroupId(5)]);
+        for i in 0..12u16 {
+            if i != 5 {
+                assert_eq!(t.parent(GroupId(i)), Some(GroupId(5)));
+                assert_eq!(t.depth(GroupId(i)), 1);
+            }
+        }
+        // Any global message not involving the root has the root as lca.
+        let lca = t.lca(DestSet::from_iter([GroupId(0), GroupId(11)]));
+        assert_eq!(lca, GroupId(5));
+    }
+}

@@ -1,0 +1,122 @@
+//! The 12-region AWS deployment used throughout the paper's evaluation.
+//!
+//! The paper (§5.2) emulates a WAN whose latencies are "based on real
+//! measurements in AWS" via cloudping. The published artifact does not list
+//! the matrix, so this module embeds representative public cloudping RTT
+//! medians (late-2022 era, matching the paper's timeframe) for a 12-region
+//! set that matches the paper's geography narrative: an America cluster
+//! (groups 1–5 in paper numbering), a Europe cluster (6–8), and an
+//! Asia/Pacific cluster (9–12). Group *k* in the paper maps to node `k-1`
+//! here.
+
+use crate::LatencyMatrix;
+
+/// Human-readable AWS region names, indexed by node id (paper group − 1).
+pub const AWS12_NAMES: [&str; 12] = [
+    "us-east-1",      // 0  (paper group 1, N. Virginia)
+    "us-east-2",      // 1  (2, Ohio)
+    "us-west-1",      // 2  (3, N. California)
+    "us-west-2",      // 3  (4, Oregon)
+    "sa-east-1",      // 4  (5, São Paulo)
+    "eu-west-1",      // 5  (6, Ireland)
+    "eu-central-1",   // 6  (7, Frankfurt)
+    "eu-west-2",      // 7  (8, London)
+    "ap-south-1",     // 8  (9, Mumbai)
+    "ap-northeast-1", // 9  (10, Tokyo)
+    "ap-southeast-1", // 10 (11, Singapore)
+    "ap-southeast-2", // 11 (12, Sydney)
+];
+
+/// Number of regions in the evaluation deployment.
+pub const AWS12_N: usize = 12;
+
+/// Builds the 12-region AWS RTT matrix (milliseconds).
+///
+/// Sources: public cloudping region-to-region RTT medians; values rounded
+/// to whole milliseconds. Intra-region latency is set to 0.5 ms RTT,
+/// modelling the 1-Gbps switched network of the paper's CloudLab testbed.
+pub fn aws12() -> LatencyMatrix {
+    // Strict upper triangle, row i = RTTs to nodes i+1..12.
+    let rows: [&[f64]; 11] = [
+        // us-east-1 → use2, usw1, usw2, sae1, euw1, euc1, euw2, aps1, apne1, apse1, apse2
+        &[12.0, 62.0, 68.0, 115.0, 67.0, 88.0, 75.0, 182.0, 145.0, 215.0, 198.0],
+        // us-east-2 → usw1, usw2, sae1, euw1, euc1, euw2, aps1, apne1, apse1, apse2
+        &[50.0, 49.0, 125.0, 75.0, 97.0, 85.0, 192.0, 135.0, 202.0, 190.0],
+        // us-west-1 → usw2, sae1, euw1, euc1, euw2, aps1, apne1, apse1, apse2
+        &[20.0, 175.0, 130.0, 148.0, 137.0, 230.0, 107.0, 170.0, 140.0],
+        // us-west-2 → sae1, euw1, euc1, euw2, aps1, apne1, apse1, apse2
+        &[180.0, 125.0, 143.0, 132.0, 217.0, 97.0, 162.0, 139.0],
+        // sa-east-1 → euw1, euc1, euw2, aps1, apne1, apse1, apse2
+        &[178.0, 196.0, 186.0, 300.0, 255.0, 320.0, 310.0],
+        // eu-west-1 → euc1, euw2, aps1, apne1, apse1, apse2
+        &[25.0, 12.0, 122.0, 205.0, 175.0, 255.0],
+        // eu-central-1 → euw2, aps1, apne1, apse1, apse2
+        &[15.0, 110.0, 225.0, 160.0, 245.0],
+        // eu-west-2 → aps1, apne1, apse1, apse2
+        &[115.0, 212.0, 168.0, 250.0],
+        // ap-south-1 → apne1, apse1, apse2
+        &[125.0, 60.0, 145.0],
+        // ap-northeast-1 → apse1, apse2
+        &[70.0, 105.0],
+        // ap-southeast-1 → apse2
+        &[92.0],
+    ];
+    let mut m = LatencyMatrix::from_upper_triangle(AWS12_N, &rows)
+        .expect("embedded AWS matrix is well-formed");
+    for node in 0..AWS12_N {
+        m.set_local(node, 0.5);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcast_types::GroupId;
+
+    #[test]
+    fn matrix_has_twelve_regions() {
+        let m = aws12();
+        assert_eq!(m.len(), AWS12_N);
+        assert_eq!(AWS12_NAMES.len(), AWS12_N);
+    }
+
+    #[test]
+    fn symmetric_and_positive() {
+        let m = aws12();
+        for a in 0..12u16 {
+            for b in 0..12u16 {
+                let (ga, gb) = (GroupId(a), GroupId(b));
+                assert_eq!(m.rtt(ga, gb), m.rtt(gb, ga));
+                if a != b {
+                    assert!(m.rtt(ga, gb) > 5.0, "{a}-{b} suspiciously low");
+                } else {
+                    assert_eq!(m.rtt(ga, gb), 0.5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geography_sanity() {
+        let m = aws12();
+        // Ireland–London is the closest European pair.
+        assert_eq!(m.nearest(GroupId(5)), Some(GroupId(7)));
+        // Virginia's nearest is Ohio.
+        assert_eq!(m.nearest(GroupId(0)), Some(GroupId(1)));
+        // Crossing an ocean costs more than staying within a continent.
+        assert!(m.rtt(GroupId(0), GroupId(9)) > m.rtt(GroupId(0), GroupId(3)));
+        assert!(m.rtt(GroupId(5), GroupId(11)) > m.rtt(GroupId(5), GroupId(6)));
+    }
+
+    #[test]
+    fn continental_clusters_are_tight() {
+        let m = aws12();
+        // America cluster (0..5) internal RTTs below transatlantic ones.
+        let us_pair = m.rtt(GroupId(0), GroupId(1));
+        let atlantic = m.rtt(GroupId(0), GroupId(5));
+        assert!(us_pair < atlantic);
+        // Europe cluster (5..8).
+        assert!(m.rtt(GroupId(5), GroupId(7)) < m.rtt(GroupId(5), GroupId(0)));
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic discrete-event simulator.
+//!
+//! The paper evaluates FlexCast on an emulated WAN (CloudLab machines with
+//! AWS-derived latencies, §5.2). This crate replaces that testbed with a
+//! deterministic discrete-event simulation: actors exchange messages over
+//! FIFO links whose delays come from a [`LinkModel`] built on the same
+//! AWS latency matrix. Determinism (a seeded RNG and a totally ordered
+//! event queue) makes every experiment exactly reproducible, which the
+//! paper's physical testbed cannot offer.
+//!
+//! The simulator is protocol-agnostic: protocol engines plug in through the
+//! [`Actor`] trait and an arbitrary message type `M`. Time is modelled in
+//! nanoseconds ([`SimTime`]) so that sub-millisecond local latencies and
+//! multi-second WAN experiments coexist without rounding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod stats;
+pub mod time;
+pub mod world;
+
+pub use link::LinkModel;
+pub use stats::Summary;
+pub use time::SimTime;
+pub use world::{Actor, Ctx, ProcessId, World};

@@ -1,0 +1,161 @@
+//! Network delay model.
+
+use crate::SimTime;
+use flexcast_overlay::LatencyMatrix;
+use flexcast_types::GroupId;
+use rand::Rng;
+
+/// Maps each simulated process to a *site* (an AWS region) and charges the
+/// site-to-site one-way latency for every message, plus optional uniform
+/// jitter.
+///
+/// The paper's testbed emulates AWS latencies between regions and a 1-Gbps
+/// switched network within a region; [`LinkModel`] reproduces that by
+/// giving every process a site and using [`LatencyMatrix::one_way`] between
+/// sites (the matrix's diagonal covers the intra-site case).
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    matrix: LatencyMatrix,
+    site_of: Vec<GroupId>,
+    jitter_ms: f64,
+    service: Vec<SimTime>,
+    processing: Vec<SimTime>,
+}
+
+impl LinkModel {
+    /// Creates a link model. `site_of[pid]` is the region of process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site index exceeds the matrix size or jitter is negative.
+    pub fn new(matrix: LatencyMatrix, site_of: Vec<GroupId>, jitter_ms: f64) -> Self {
+        assert!(jitter_ms >= 0.0 && jitter_ms.is_finite());
+        for &s in &site_of {
+            assert!(s.index() < matrix.len(), "site {s} out of matrix range");
+        }
+        let n = site_of.len();
+        LinkModel {
+            matrix,
+            site_of,
+            jitter_ms,
+            service: vec![SimTime::ZERO; n],
+            processing: vec![SimTime::ZERO; n],
+        }
+    }
+
+    /// Sets a fixed per-message processing delay for process `pid`, added
+    /// to every message it receives. Unlike the serial service time this
+    /// models the constant software-path cost (marshalling, protocol
+    /// bookkeeping) that dominates the paper's testbed latencies, which
+    /// sit far above the raw RTTs (e.g. Table 2 reports 229 ms at the
+    /// first destination over ~12 ms links).
+    pub fn set_processing_ms(&mut self, pid: usize, ms: f64) {
+        assert!(ms >= 0.0 && ms.is_finite());
+        self.processing[pid] = SimTime::from_ms(ms);
+    }
+
+    /// The configured processing delay of a process.
+    pub fn processing(&self, pid: usize) -> SimTime {
+        self.processing[pid]
+    }
+
+    /// Sets a per-message service time for process `pid`: the receiver
+    /// handles messages serially, each occupying it for `ms`. This models
+    /// single-threaded server capacity and produces the queueing
+    /// saturation visible in the paper's throughput experiment (Fig. 6).
+    pub fn set_service_ms(&mut self, pid: usize, ms: f64) {
+        assert!(ms >= 0.0 && ms.is_finite());
+        self.service[pid] = SimTime::from_ms(ms);
+    }
+
+    /// The configured service time of a process.
+    pub fn service(&self, pid: usize) -> SimTime {
+        self.service[pid]
+    }
+
+    /// Number of processes the model covers.
+    pub fn len(&self) -> usize {
+        self.site_of.len()
+    }
+
+    /// True if no processes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.site_of.is_empty()
+    }
+
+    /// Site (region) of a process.
+    pub fn site(&self, pid: usize) -> GroupId {
+        self.site_of[pid]
+    }
+
+    /// Deterministic baseline one-way delay between two processes.
+    pub fn base_delay(&self, from: usize, to: usize) -> SimTime {
+        SimTime::from_ms(self.matrix.one_way(self.site_of[from], self.site_of[to]))
+    }
+
+    /// Samples the one-way delay for a message: base latency, the
+    /// receiver's fixed processing delay, and uniform jitter in
+    /// `[0, jitter_ms)` when configured.
+    pub fn sample_delay<R: Rng>(&self, from: usize, to: usize, rng: &mut R) -> SimTime {
+        let base = self.base_delay(from, to) + self.processing[to];
+        if self.jitter_ms == 0.0 {
+            base
+        } else {
+            base + SimTime::from_ms(rng.random_range(0.0..self.jitter_ms))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model() -> LinkModel {
+        let mut m = LatencyMatrix::zero(2);
+        m.set_rtt(0, 1, 100.0);
+        m.set_local(0, 0.5);
+        // Processes: 0,1 at site 0; 2 at site 1.
+        LinkModel::new(m, vec![GroupId(0), GroupId(0), GroupId(1)], 0.0)
+    }
+
+    #[test]
+    fn base_delay_uses_site_pairs() {
+        let lm = model();
+        assert_eq!(lm.base_delay(0, 2), SimTime::from_ms(50.0));
+        assert_eq!(lm.base_delay(2, 1), SimTime::from_ms(50.0));
+        assert_eq!(lm.base_delay(0, 1), SimTime::from_ms(0.25), "intra-site");
+        assert_eq!(lm.site(2), GroupId(1));
+        assert_eq!(lm.len(), 3);
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let lm = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(lm.sample_delay(0, 2, &mut rng), lm.base_delay(0, 2));
+    }
+
+    #[test]
+    fn jitter_bounded_and_seed_reproducible() {
+        let mut m = LatencyMatrix::zero(2);
+        m.set_rtt(0, 1, 100.0);
+        let lm = LinkModel::new(m, vec![GroupId(0), GroupId(1)], 5.0);
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let d1 = lm.sample_delay(0, 1, &mut r1);
+            let d2 = lm.sample_delay(0, 1, &mut r2);
+            assert_eq!(d1, d2, "same seed, same delays");
+            assert!(d1 >= SimTime::from_ms(50.0));
+            assert!(d1 < SimTime::from_ms(55.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of matrix range")]
+    fn rejects_bad_site() {
+        let m = LatencyMatrix::zero(1);
+        let _ = LinkModel::new(m, vec![GroupId(3)], 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Sample statistics: percentiles, CDFs, and summaries.
+//!
+//! The paper reports 90th/95th/99th-percentile latencies (Tables 2 and 3)
+//! and CDF plots (Figures 5 and 7); [`Summary`] produces both from raw
+//! latency samples.
+
+/// A collection of `f64` samples with percentile and CDF queries.
+///
+/// Samples are kept raw and sorted lazily on first query, so insertion is
+/// O(1) and exact percentiles (not sketch approximations) are reported —
+/// feasible because a simulated experiment produces at most a few hundred
+/// thousand samples.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v.is_finite());
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact percentile by the nearest-rank method. `p` in `[0, 100]`.
+    ///
+    /// Returns `None` on an empty summary.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.samples[rank.saturating_sub(1).min(n - 1)])
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .samples
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// Empirical CDF evaluated at `points`: for each `x`, the fraction of
+    /// samples `<= x`. Used to regenerate the paper's CDF figures.
+    pub fn cdf_at(&mut self, points: &[f64]) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.samples.len();
+        points
+            .iter()
+            .map(|&x| {
+                let count = self.samples.partition_point(|&s| s <= x);
+                (x, if n == 0 { 0.0 } else { count as f64 / n as f64 })
+            })
+            .collect()
+    }
+
+    /// The standard percentile triple reported in the paper's tables.
+    pub fn p90_p95_p99(&mut self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.percentile(90.0)?,
+            self.percentile(95.0)?,
+            self.percentile(99.0)?,
+        ))
+    }
+
+    /// Immutable view of the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(vals: &[f64]) -> Summary {
+        let mut s = Summary::new();
+        for &v in vals {
+            s.record(v);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_summary_returns_none() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.stddev(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut s = summary(&(1..=100).map(|v| v as f64).collect::<Vec<_>>());
+        assert_eq!(s.percentile(90.0), Some(90.0));
+        assert_eq!(s.percentile(99.0), Some(99.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(50.0), Some(50.0));
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut s = summary(&[7.0]);
+        assert_eq!(s.percentile(1.0), Some(7.0));
+        assert_eq!(s.percentile(99.0), Some(7.0));
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let s = summary(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.stddev(), Some(2.0));
+    }
+
+    #[test]
+    fn min_max_after_unsorted_inserts() {
+        let mut s = summary(&[5.0, 1.0, 9.0, 3.0]);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let mut s = summary(&[1.0, 2.0, 3.0, 4.0]);
+        let cdf = s.cdf_at(&[0.5, 1.0, 2.5, 4.0, 10.0]);
+        assert_eq!(
+            cdf,
+            vec![
+                (0.5, 0.0),
+                (1.0, 0.25),
+                (2.5, 0.5),
+                (4.0, 1.0),
+                (10.0, 1.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn triple_helper() {
+        let mut s = summary(&(1..=100).map(|v| v as f64).collect::<Vec<_>>());
+        assert_eq!(s.p90_p95_p99(), Some((90.0, 95.0, 99.0)));
+    }
+
+    #[test]
+    fn record_after_query_resorts() {
+        let mut s = summary(&[3.0, 1.0]);
+        assert_eq!(s.max(), Some(3.0));
+        s.record(10.0);
+        assert_eq!(s.max(), Some(10.0));
+        assert_eq!(s.len(), 3);
+    }
+}

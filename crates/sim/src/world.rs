@@ -1,0 +1,476 @@
+//! The simulation world: actors, event queue, and FIFO links.
+
+use crate::{LinkModel, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Identifier of a simulated process (index into the actor table).
+pub type ProcessId = usize;
+
+/// A simulated process.
+///
+/// Actors are deterministic state machines: all interaction with the world
+/// happens through the [`Ctx`] handed to each callback. Protocol engines
+/// (FlexCast, Skeen, hierarchical) and workload clients both implement this
+/// trait in higher crates.
+pub trait Actor<M> {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called when a message arrives.
+    fn on_message(&mut self, from: ProcessId, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_, M>) {}
+}
+
+/// Side-effect collector passed to actor callbacks.
+///
+/// Sends and timers are buffered and applied by the world after the
+/// callback returns, which keeps actor code free of world borrows.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    me: ProcessId,
+    sends: &'a mut Vec<(ProcessId, M)>,
+    timers: &'a mut Vec<(SimTime, u64)>,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor being invoked.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Sends `msg` to `to`; it will arrive after the link delay.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Schedules [`Actor::on_timer`] with `token` after `delay`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        self.timers.push((self.now + delay, token));
+    }
+}
+
+enum Event<M> {
+    Deliver { from: ProcessId, to: ProcessId, msg: M },
+    Timer { pid: ProcessId, token: u64 },
+    Start { pid: ProcessId },
+}
+
+/// A deterministic discrete-event world hosting actors of type `A`.
+///
+/// Guarantees:
+///
+/// * **Determinism** — identical seeds and actor behaviour produce
+///   identical executions (the event queue breaks ties by sequence number).
+/// * **FIFO links** — messages between a given pair of processes are
+///   delivered in send order even under jitter (delays are clamped to be
+///   monotone per link), matching the paper's FIFO reliable channels.
+/// * **Reliability** — messages to *up* processes are never lost; messages
+///   to crashed processes are silently dropped (crash-stop model).
+pub struct World<M, A: Actor<M>> {
+    actors: Vec<A>,
+    link: LinkModel,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    payloads: HashMap<u64, Event<M>>,
+    last_arrival: HashMap<(ProcessId, ProcessId), SimTime>,
+    /// When each process finishes handling its latest message (serial
+    /// service model; see [`LinkModel::set_service_ms`]).
+    busy_until: Vec<SimTime>,
+    down: Vec<bool>,
+    rng: StdRng,
+    delivered_events: u64,
+    sent_messages: u64,
+}
+
+impl<M, A: Actor<M>> World<M, A> {
+    /// Creates a world over `actors` with the given link model and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link model does not cover every actor.
+    pub fn new(actors: Vec<A>, link: LinkModel, seed: u64) -> Self {
+        assert_eq!(
+            actors.len(),
+            link.len(),
+            "link model must cover every actor"
+        );
+        let n = actors.len();
+        let mut w = World {
+            actors,
+            link,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            last_arrival: HashMap::new(),
+            busy_until: vec![SimTime::ZERO; n],
+            down: vec![false; n],
+            rng: StdRng::seed_from_u64(seed),
+            delivered_events: 0,
+            sent_messages: 0,
+        };
+        for pid in 0..n {
+            w.push(SimTime::ZERO, Event::Start { pid });
+        }
+        w
+    }
+
+    fn push(&mut self, at: SimTime, ev: Event<M>) {
+        let id = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse((at, id)));
+        self.payloads.insert(id, ev);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to an actor (for inspection and metrics).
+    pub fn actor(&self, pid: ProcessId) -> &A {
+        &self.actors[pid]
+    }
+
+    /// Mutable access to an actor (for test instrumentation).
+    pub fn actor_mut(&mut self, pid: ProcessId) -> &mut A {
+        &mut self.actors[pid]
+    }
+
+    /// Number of actors in the world.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// True if the world hosts no actors.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Total messages sent so far (including ones later dropped at crashed
+    /// destinations).
+    pub fn sent_messages(&self) -> u64 {
+        self.sent_messages
+    }
+
+    /// Total events processed so far.
+    pub fn processed_events(&self) -> u64 {
+        self.delivered_events
+    }
+
+    /// Marks a process as crashed (messages to it are dropped) or back up.
+    /// Crash-stop with restart is all the SMR substrate needs: a restarted
+    /// replica rejoins with its pre-crash state intact.
+    pub fn set_down(&mut self, pid: ProcessId, down: bool) {
+        self.down[pid] = down;
+    }
+
+    /// True if the process is currently crashed.
+    pub fn is_down(&self, pid: ProcessId) -> bool {
+        self.down[pid]
+    }
+
+    /// Injects a message from the outside world (e.g. a test harness acting
+    /// as a client that is not itself simulated).
+    pub fn inject(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        let at = self.arrival_time(from, to);
+        self.push(at, Event::Deliver { from, to, msg });
+        self.sent_messages += 1;
+    }
+
+    fn arrival_time(&mut self, from: ProcessId, to: ProcessId) -> SimTime {
+        let delay = self.link.sample_delay(from, to, &mut self.rng);
+        let mut at = self.now + delay;
+        // FIFO clamp: never deliver before an earlier message on this link.
+        if let Some(&last) = self.last_arrival.get(&(from, to)) {
+            if at < last {
+                at = last;
+            }
+        }
+        // Serial service: the receiver handles one message at a time, each
+        // occupying it for its configured service time.
+        let svc = self.link.service(to);
+        if svc > SimTime::ZERO {
+            at = at.max(self.busy_until[to]) + svc;
+            self.busy_until[to] = at;
+        }
+        self.last_arrival.insert((from, to), at);
+        at
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse((at, id))) = self.queue.pop() else {
+            return false;
+        };
+        let ev = self
+            .payloads
+            .remove(&id)
+            .expect("every queued id has a payload");
+        self.now = at;
+        self.delivered_events += 1;
+
+        let mut sends = Vec::new();
+        let mut timers = Vec::new();
+        match ev {
+            Event::Start { pid } => {
+                if !self.down[pid] {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        me: pid,
+                        sends: &mut sends,
+                        timers: &mut timers,
+                    };
+                    self.actors[pid].on_start(&mut ctx);
+                    self.apply(pid, sends, timers);
+                }
+            }
+            Event::Deliver { from, to, msg } => {
+                if !self.down[to] {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        me: to,
+                        sends: &mut sends,
+                        timers: &mut timers,
+                    };
+                    self.actors[to].on_message(from, msg, &mut ctx);
+                    self.apply(to, sends, timers);
+                }
+            }
+            Event::Timer { pid, token } => {
+                if !self.down[pid] {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        me: pid,
+                        sends: &mut sends,
+                        timers: &mut timers,
+                    };
+                    self.actors[pid].on_timer(token, &mut ctx);
+                    self.apply(pid, sends, timers);
+                }
+            }
+        }
+        true
+    }
+
+    fn apply(&mut self, pid: ProcessId, sends: Vec<(ProcessId, M)>, timers: Vec<(SimTime, u64)>) {
+        for (to, msg) in sends {
+            let at = self.arrival_time(pid, to);
+            self.push(at, Event::Deliver { from: pid, to, msg });
+            self.sent_messages += 1;
+        }
+        for (at, token) in timers {
+            self.push(at, Event::Timer { pid, token });
+        }
+    }
+
+    /// Runs until the queue drains or simulated time exceeds `deadline`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(&Reverse((at, _))) = self.queue.peek() {
+            if at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        self.now = self.now.max(deadline.min(self.now + SimTime::ZERO));
+        n
+    }
+
+    /// Runs until the event queue is empty (quiescence), up to `max_events`.
+    /// Returns the number of events processed; panics if the limit is hit,
+    /// which in a correct protocol signals a livelock.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+            assert!(
+                n < max_events,
+                "simulation did not quiesce after {max_events} events"
+            );
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcast_overlay::LatencyMatrix;
+    use flexcast_types::GroupId;
+
+    /// Echo actor: replies to every `Ping(k)` with `Pong(k)`; the
+    /// originator records arrival times.
+    #[derive(Default)]
+    struct Echo {
+        got: Vec<(ProcessId, i32, SimTime)>,
+        initial: Vec<(ProcessId, i32)>,
+    }
+
+    #[derive(Clone)]
+    enum Msg {
+        Ping(i32),
+        Pong(i32),
+    }
+
+    impl Actor<Msg> for Echo {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            for (to, k) in self.initial.clone() {
+                ctx.send(to, Msg::Ping(k));
+            }
+        }
+        fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+            match msg {
+                Msg::Ping(k) => ctx.send(from, Msg::Pong(k)),
+                Msg::Pong(k) => self.got.push((from, k, ctx.now())),
+            }
+        }
+        fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, Msg>) {
+            self.got.push((usize::MAX, token as i32, ctx.now()));
+        }
+    }
+
+    fn two_site_world(actors: Vec<Echo>, jitter: f64) -> World<Msg, Echo> {
+        let mut m = LatencyMatrix::zero(2);
+        m.set_rtt(0, 1, 100.0);
+        let sites = vec![GroupId(0), GroupId(1)];
+        World::new(actors, LinkModel::new(m, sites, jitter), 7)
+    }
+
+    #[test]
+    fn ping_pong_takes_one_rtt() {
+        let a = Echo {
+            initial: vec![(1, 5)],
+            ..Default::default()
+        };
+        let b = Echo::default();
+        let mut w = two_site_world(vec![a, b], 0.0);
+        w.run_to_quiescence(100);
+        let got = &w.actor(0).got;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[0].1, 5);
+        assert_eq!(got[0].2, SimTime::from_ms(100.0), "one full RTT");
+    }
+
+    #[test]
+    fn fifo_holds_under_jitter() {
+        // Send many pings; pongs must come back in order per link.
+        let a = Echo {
+            initial: (0..50).map(|k| (1usize, k)).collect(),
+            ..Default::default()
+        };
+        let mut w = two_site_world(vec![a, Echo::default()], 30.0);
+        w.run_to_quiescence(10_000);
+        let ks: Vec<i32> = w.actor(0).got.iter().map(|&(_, k, _)| k).collect();
+        assert_eq!(ks, (0..50).collect::<Vec<_>>(), "FIFO per link");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let mk = || {
+            let a = Echo {
+                initial: (0..20).map(|k| (1usize, k)).collect(),
+                ..Default::default()
+            };
+            let mut w = two_site_world(vec![a, Echo::default()], 10.0);
+            w.run_to_quiescence(10_000);
+            w.actor(0)
+                .got
+                .iter()
+                .map(|&(_, k, t)| (k, t.as_nanos()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn crashed_process_drops_messages() {
+        let a = Echo {
+            initial: vec![(1, 1)],
+            ..Default::default()
+        };
+        let mut w = two_site_world(vec![a, Echo::default()], 0.0);
+        w.set_down(1, true);
+        w.run_to_quiescence(100);
+        assert!(w.actor(0).got.is_empty(), "no pong from a crashed echo");
+        assert!(w.is_down(1));
+    }
+
+    #[test]
+    fn timers_fire_at_the_right_time() {
+        struct T;
+        impl Actor<()> for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimTime::from_ms(5.0), 42);
+            }
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, ()>) {
+                assert_eq!(token, 42);
+                assert_eq!(ctx.now(), SimTime::from_ms(5.0));
+            }
+        }
+        let m = LatencyMatrix::zero(1);
+        let mut w = World::new(vec![T], LinkModel::new(m, vec![GroupId(0)], 0.0), 0);
+        assert_eq!(w.run_to_quiescence(10), 2, "start + timer");
+    }
+
+    #[test]
+    fn inject_counts_and_delivers() {
+        let mut w = two_site_world(vec![Echo::default(), Echo::default()], 0.0);
+        w.inject(0, 1, Msg::Ping(9));
+        w.run_to_quiescence(100);
+        assert_eq!(w.actor(0).got.len(), 1);
+        assert!(w.sent_messages() >= 2);
+        assert!(w.processed_events() >= 2);
+    }
+
+    #[test]
+    fn service_time_serializes_a_receiver() {
+        // Two pings sent back to back; with 10 ms service at the echo
+        // node, the second pong returns 10 ms after the first.
+        let a = Echo {
+            initial: vec![(1, 1), (1, 2)],
+            ..Default::default()
+        };
+        let mut m = LatencyMatrix::zero(2);
+        m.set_rtt(0, 1, 100.0);
+        let mut link = LinkModel::new(m, vec![GroupId(0), GroupId(1)], 0.0);
+        link.set_service_ms(1, 10.0);
+        let mut w = World::new(vec![a, Echo::default()], link, 7);
+        w.run_to_quiescence(100);
+        let times: Vec<f64> = w.actor(0).got.iter().map(|&(_, _, t)| t.as_ms()).collect();
+        assert_eq!(times.len(), 2);
+        // First ping: 50 link + 10 service = 60, pong back at 110.
+        assert_eq!(times[0], 110.0);
+        // Second ping arrives at 50 but waits for the server: 70 + 50.
+        assert_eq!(times[1], 120.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let a = Echo {
+            initial: vec![(1, 1)],
+            ..Default::default()
+        };
+        let mut w = two_site_world(vec![a, Echo::default()], 0.0);
+        // Ping arrives at 50 ms, pong at 100 ms; stop before the pong.
+        w.run_until(SimTime::from_ms(60.0));
+        assert!(w.actor(0).got.is_empty());
+        w.run_until(SimTime::from_ms(200.0));
+        assert_eq!(w.actor(0).got.len(), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! A replicated FlexCast group: Paxos underneath, the protocol engine on
+//! top.
+//!
+//! The paper's fault-tolerance story (§4.4): each group's protocol logic
+//! runs as a replicated state machine, so the group survives minority
+//! replica failures and, to the rest of the overlay, still behaves like a
+//! single reliable process. [`ReplicatedGroup`] realizes that for any
+//! deterministic engine:
+//!
+//! 1. every input to the group (client message or peer packet) is proposed
+//!    as a Paxos command;
+//! 2. replicas apply the committed command sequence, in slot order, to
+//!    their local engine copy — determinism keeps all copies identical;
+//! 3. only the current leader emits the engine's outputs, so the overlay
+//!    sees each send exactly once in stable periods (after a leader
+//!    change the new leader may resend; FlexCast's receivers are
+//!    idempotent for duplicate acks and re-merged histories).
+
+use crate::paxos::{PaxosMsg, Replica, SmrOutput};
+
+/// One replica of a replicated group, generic over the engine.
+///
+/// `I` is the engine input (command) type; `O` the engine output type.
+/// The engine itself is any `FnMut(I, &mut Vec<O>)`-shaped apply function
+/// captured in the `apply` closure at construction, which keeps this
+/// wrapper decoupled from concrete protocol crates.
+pub struct ReplicatedGroup<E, I> {
+    replica: Replica<I>,
+    engine: E,
+    apply: fn(&mut E, I, &mut Vec<GroupEffect<I>>),
+    emitted_up_to: u64,
+}
+
+/// Outputs of a replicated group replica.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GroupEffect<I> {
+    /// A Paxos message for a peer replica of the same group.
+    Replication {
+        /// Destination replica id.
+        to: u32,
+        /// The Paxos message.
+        msg: PaxosMsg<I>,
+    },
+    /// An engine-level side effect (send to another group / deliver),
+    /// emitted only by the leader. The payload is engine-specific and
+    /// produced by the `apply` function.
+    Engine(I),
+}
+
+impl<E, I: Clone + PartialEq> ReplicatedGroup<E, I> {
+    /// Creates replica `id` of `n` for `engine`, with `apply` defining how
+    /// a committed command mutates the engine and what effects it emits.
+    pub fn new(
+        id: u32,
+        n: u32,
+        engine: E,
+        apply: fn(&mut E, I, &mut Vec<GroupEffect<I>>),
+    ) -> Self {
+        ReplicatedGroup {
+            replica: Replica::new(id, n),
+            engine,
+            apply,
+            emitted_up_to: 0,
+        }
+    }
+
+    /// Access to the underlying engine (inspection/tests).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Access to the underlying Paxos replica.
+    pub fn replica(&self) -> &Replica<I> {
+        &self.replica
+    }
+
+    /// True if this replica leads the group.
+    pub fn is_leader(&self) -> bool {
+        self.replica.is_leader()
+    }
+
+    /// Starts a leader election (drive from an election timeout).
+    pub fn start_election(&mut self, out: &mut Vec<GroupEffect<I>>) {
+        let mut paxos_out = Vec::new();
+        self.replica.start_election(&mut paxos_out);
+        self.drain(paxos_out, out);
+    }
+
+    /// Proposes an input to the group (leader path; followers buffer).
+    pub fn submit(&mut self, input: I, out: &mut Vec<GroupEffect<I>>) {
+        let mut paxos_out = Vec::new();
+        self.replica.propose(input, &mut paxos_out);
+        self.drain(paxos_out, out);
+    }
+
+    /// Handles a replication message from a peer replica.
+    pub fn on_replication(&mut self, from: u32, msg: PaxosMsg<I>, out: &mut Vec<GroupEffect<I>>) {
+        let mut paxos_out = Vec::new();
+        self.replica.on_message(from, msg, &mut paxos_out);
+        self.drain(paxos_out, out);
+    }
+
+    fn drain(&mut self, paxos_out: Vec<SmrOutput<I>>, out: &mut Vec<GroupEffect<I>>) {
+        for o in paxos_out {
+            if let SmrOutput::Send { to, msg } = o {
+                out.push(GroupEffect::Replication { to, msg });
+            }
+            // Committed outputs are consumed via take_committed below so
+            // application happens in gap-free slot order.
+        }
+        let leader = self.replica.is_leader();
+        for cmd in self.replica.take_committed() {
+            self.emitted_up_to += 1;
+            let mut effects = Vec::new();
+            (self.apply)(&mut self.engine, cmd, &mut effects);
+            if leader {
+                out.extend(effects);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy engine: a counter that emits its running total on every input.
+    #[derive(Default)]
+    struct Counter {
+        total: u32,
+        applied: Vec<u32>,
+    }
+
+    fn apply(engine: &mut Counter, input: u32, out: &mut Vec<GroupEffect<u32>>) {
+        engine.total += input;
+        engine.applied.push(input);
+        out.push(GroupEffect::Engine(engine.total));
+    }
+
+    fn route(groups: &mut [ReplicatedGroup<Counter, u32>], from: u32, effects: Vec<GroupEffect<u32>>) -> Vec<u32> {
+        let mut emitted = Vec::new();
+        for e in effects {
+            match e {
+                GroupEffect::Replication { to, msg } => {
+                    let mut next = Vec::new();
+                    groups[to as usize].on_replication(from, msg, &mut next);
+                    emitted.extend(route(groups, to, next));
+                }
+                GroupEffect::Engine(v) => emitted.push(v),
+            }
+        }
+        emitted
+    }
+
+    fn replicated_counter(n: u32) -> Vec<ReplicatedGroup<Counter, u32>> {
+        (0..n)
+            .map(|i| ReplicatedGroup::new(i, n, Counter::default(), apply))
+            .collect()
+    }
+
+    #[test]
+    fn replicas_apply_identically_and_leader_emits() {
+        let mut gs = replicated_counter(3);
+        let mut out = Vec::new();
+        gs[0].start_election(&mut out);
+        let effects = route(&mut gs, 0, out);
+        assert!(effects.is_empty());
+        assert!(gs[0].is_leader());
+
+        let mut out = Vec::new();
+        gs[0].submit(5, &mut out);
+        let mut emitted = route(&mut gs, 0, out);
+        let mut out = Vec::new();
+        gs[0].submit(7, &mut out);
+        emitted.extend(route(&mut gs, 0, out));
+
+        // Only the leader emitted, once per command.
+        assert_eq!(emitted, vec![5, 12]);
+        // All replicas applied the same sequence.
+        for g in &gs {
+            assert_eq!(g.engine().applied, vec![5, 7]);
+            assert_eq!(g.engine().total, 12);
+        }
+    }
+
+    #[test]
+    fn follower_inputs_buffer_until_leadership() {
+        let mut gs = replicated_counter(3);
+        let mut out = Vec::new();
+        gs[1].submit(9, &mut out);
+        assert!(out.is_empty(), "no leader yet");
+        let mut out = Vec::new();
+        gs[1].start_election(&mut out);
+        let emitted = route(&mut gs, 1, out);
+        assert_eq!(emitted, vec![9], "buffered input replicated after win");
+        for g in &gs {
+            assert_eq!(g.engine().applied, vec![9]);
+        }
+    }
+
+    #[test]
+    fn single_replica_group_works_degenerately() {
+        let mut gs = replicated_counter(1);
+        let mut out = Vec::new();
+        gs[0].start_election(&mut out);
+        let mut out2 = Vec::new();
+        gs[0].submit(3, &mut out2);
+        let emitted = route(&mut gs, 0, out2);
+        assert_eq!(emitted, vec![3]);
+    }
+}

@@ -1,0 +1,28 @@
+//! State machine replication substrate (paper §4.4).
+//!
+//! FlexCast tolerates failures "using the same approach used in other
+//! atomic multicast protocols": processes within a group stay consistent
+//! through state machine replication, so a group acts as one reliable
+//! entity as long as a quorum of its replicas survives. The paper names
+//! Paxos as the canonical choice; this crate implements single-leader
+//! multi-Paxos:
+//!
+//! * [`Replica`] — a sans-io Paxos replica: ballots, prepare/promise,
+//!   accept/accepted, commit learning, and leader election on timeout.
+//! * [`ReplicatedGroup`] — glues a quorum of replicas to any deterministic
+//!   group engine (e.g. `flexcast_core::FlexCastGroup`): inputs are
+//!   proposed as commands, and each replica applies the committed command
+//!   sequence to its local engine copy, keeping all replicas in lockstep.
+//!
+//! Safety holds under arbitrary message loss, duplication, and reordering;
+//! liveness needs a quorum and eventual timely delivery (the standard
+//! partially-synchronous assumption of §2.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod group;
+pub mod paxos;
+
+pub use group::{GroupEffect, ReplicatedGroup};
+pub use paxos::{Ballot, PaxosMsg, Replica, SmrOutput};

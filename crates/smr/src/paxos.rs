@@ -1,0 +1,608 @@
+//! Single-leader multi-Paxos.
+//!
+//! The classic protocol [Lamport 1998], structured for clarity:
+//!
+//! * A **ballot** is `(round, replica)`, totally ordered; each replica can
+//!   lead at most one ballot per round.
+//! * **Phase 1** (leader election): a candidate sends `Prepare(b)`;
+//!   acceptors that have not promised a higher ballot reply `Promise`
+//!   carrying everything they ever accepted. With a quorum of promises
+//!   the candidate becomes leader and must re-propose, per slot, the
+//!   highest-ballot value reported — the invariant that makes leader
+//!   changes safe.
+//! * **Phase 2** (replication): the leader assigns commands to slots and
+//!   sends `Accept`; acceptors log and reply `Accepted`; a quorum commits
+//!   the slot and the leader broadcasts `Learn` so followers apply it.
+//!
+//! Commands apply in slot order; [`Replica::take_committed`] hands the
+//! application a gap-free committed prefix.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A Paxos ballot: `(round, replica id)`, ordered lexicographically.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Ballot {
+    /// Election round.
+    pub round: u64,
+    /// The replica that owns this ballot.
+    pub owner: u32,
+}
+
+impl Ballot {
+    /// The zero ballot (smaller than any real ballot).
+    pub const ZERO: Ballot = Ballot { round: 0, owner: 0 };
+}
+
+/// Messages exchanged between replicas of one group.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum PaxosMsg<C> {
+    /// Phase-1a: candidate asks for promises.
+    Prepare {
+        /// The candidate's ballot.
+        ballot: Ballot,
+    },
+    /// Phase-1b: acceptor promises and reports accepted entries.
+    Promise {
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// Every `(slot, accepted ballot, command)` the acceptor holds.
+        accepted: Vec<(u64, Ballot, C)>,
+    },
+    /// Phase-2a: leader proposes `cmd` at `slot`.
+    Accept {
+        /// The leader's ballot.
+        ballot: Ballot,
+        /// Log position.
+        slot: u64,
+        /// The command.
+        cmd: C,
+    },
+    /// Phase-2b: acceptor accepted the proposal.
+    Accepted {
+        /// The ballot accepted under.
+        ballot: Ballot,
+        /// Log position.
+        slot: u64,
+    },
+    /// Commit notification from the leader to followers.
+    Learn {
+        /// Log position.
+        slot: u64,
+        /// The committed command.
+        cmd: C,
+    },
+}
+
+/// An action produced by a replica.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmrOutput<C> {
+    /// Send a Paxos message to a peer replica (by replica index).
+    Send {
+        /// Destination replica.
+        to: u32,
+        /// The message.
+        msg: PaxosMsg<C>,
+    },
+    /// `slot` committed with `cmd`; commands become applicable in slot
+    /// order through [`Replica::take_committed`].
+    Committed {
+        /// Log position.
+        slot: u64,
+        /// The committed command.
+        cmd: C,
+    },
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Role {
+    Follower,
+    Candidate { promises: BTreeSet<u32> },
+    Leader,
+}
+
+/// A multi-Paxos replica, sans-io and deterministic.
+#[derive(Clone, Debug)]
+pub struct Replica<C> {
+    id: u32,
+    n: u32,
+    role: Role,
+    /// Highest ballot promised (phase 1) — we reject anything lower.
+    promised: Ballot,
+    /// Our current candidate/leader ballot when not following.
+    my_ballot: Ballot,
+    /// Accepted entries: slot → (ballot, command).
+    accepted: BTreeMap<u64, (Ballot, C)>,
+    /// Values gathered from promises during an election.
+    election_values: BTreeMap<u64, (Ballot, C)>,
+    /// Quorum tally for in-flight proposals: slot → acceptors.
+    tally: BTreeMap<u64, BTreeSet<u32>>,
+    /// Committed commands: slot → command.
+    committed: BTreeMap<u64, C>,
+    /// Next slot a leader assigns.
+    next_slot: u64,
+    /// Next slot to hand to the application.
+    apply_at: u64,
+    /// Commands waiting for a leader (buffered on followers/candidates).
+    backlog: Vec<C>,
+}
+
+impl<C: Clone + PartialEq> Replica<C> {
+    /// Creates replica `id` of `n` (quorum = ⌊n/2⌋ + 1).
+    pub fn new(id: u32, n: u32) -> Self {
+        assert!(n >= 1 && id < n, "replica id out of range");
+        Replica {
+            id,
+            n,
+            role: Role::Follower,
+            promised: Ballot::ZERO,
+            my_ballot: Ballot::ZERO,
+            accepted: BTreeMap::new(),
+            election_values: BTreeMap::new(),
+            tally: BTreeMap::new(),
+            committed: BTreeMap::new(),
+            next_slot: 0,
+            apply_at: 0,
+            backlog: Vec::new(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// True if this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// The highest ballot this replica has promised.
+    pub fn promised(&self) -> Ballot {
+        self.promised
+    }
+
+    /// Number of committed slots not yet taken by the application.
+    pub fn committed_backlog(&self) -> usize {
+        self.committed.range(self.apply_at..).count()
+    }
+
+    fn quorum(&self) -> usize {
+        (self.n as usize / 2) + 1
+    }
+
+    fn peers(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.n).filter(move |&p| p != self.id)
+    }
+
+    /// Starts (or retries) an election with a ballot above everything seen.
+    /// Drive this from an election timeout.
+    pub fn start_election(&mut self, out: &mut Vec<SmrOutput<C>>) {
+        let round = self.promised.round + 1;
+        self.my_ballot = Ballot {
+            round,
+            owner: self.id,
+        };
+        self.promised = self.my_ballot;
+        self.role = Role::Candidate {
+            promises: BTreeSet::from([self.id]),
+        };
+        self.election_values = self
+            .accepted
+            .iter()
+            .map(|(&s, v)| (s, v.clone()))
+            .collect();
+        for p in self.peers().collect::<Vec<_>>() {
+            out.push(SmrOutput::Send {
+                to: p,
+                msg: PaxosMsg::Prepare {
+                    ballot: self.my_ballot,
+                },
+            });
+        }
+        self.maybe_win(out);
+    }
+
+    /// Proposes a command. Leaders replicate immediately; others buffer
+    /// until a leader emerges locally (the wrapper forwards to the leader
+    /// in practice).
+    pub fn propose(&mut self, cmd: C, out: &mut Vec<SmrOutput<C>>) {
+        if self.role == Role::Leader {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.accept_locally(self.my_ballot, slot, cmd.clone());
+            self.tally.entry(slot).or_default().insert(self.id);
+            for p in self.peers().collect::<Vec<_>>() {
+                out.push(SmrOutput::Send {
+                    to: p,
+                    msg: PaxosMsg::Accept {
+                        ballot: self.my_ballot,
+                        slot,
+                        cmd: cmd.clone(),
+                    },
+                });
+            }
+            self.maybe_commit(slot, out);
+        } else {
+            self.backlog.push(cmd);
+        }
+    }
+
+    fn accept_locally(&mut self, ballot: Ballot, slot: u64, cmd: C) {
+        self.accepted.insert(slot, (ballot, cmd));
+    }
+
+    fn maybe_win(&mut self, out: &mut Vec<SmrOutput<C>>) {
+        let Role::Candidate { promises } = &self.role else {
+            return;
+        };
+        if promises.len() < self.quorum() {
+            return;
+        }
+        self.role = Role::Leader;
+        // Safety: re-propose the highest-ballot value per slot reported by
+        // the promise quorum, then continue after the highest slot.
+        let values = std::mem::take(&mut self.election_values);
+        let max_slot = values.keys().next_back().copied();
+        self.next_slot = max_slot.map_or(0, |s| s + 1);
+        for (slot, (_, cmd)) in values {
+            if self.committed.contains_key(&slot) {
+                continue;
+            }
+            self.accept_locally(self.my_ballot, slot, cmd.clone());
+            self.tally.entry(slot).or_default().insert(self.id);
+            for p in self.peers().collect::<Vec<_>>() {
+                out.push(SmrOutput::Send {
+                    to: p,
+                    msg: PaxosMsg::Accept {
+                        ballot: self.my_ballot,
+                        slot,
+                        cmd: cmd.clone(),
+                    },
+                });
+            }
+            self.maybe_commit(slot, out);
+        }
+        // Flush commands buffered while leaderless.
+        for cmd in std::mem::take(&mut self.backlog) {
+            self.propose(cmd, out);
+        }
+    }
+
+    fn maybe_commit(&mut self, slot: u64, out: &mut Vec<SmrOutput<C>>) {
+        if self.committed.contains_key(&slot) {
+            return;
+        }
+        let Some(votes) = self.tally.get(&slot) else {
+            return;
+        };
+        if votes.len() < self.quorum() {
+            return;
+        }
+        let (_, cmd) = self.accepted.get(&slot).expect("leader accepted first").clone();
+        self.committed.insert(slot, cmd.clone());
+        self.tally.remove(&slot);
+        out.push(SmrOutput::Committed {
+            slot,
+            cmd: cmd.clone(),
+        });
+        for p in self.peers().collect::<Vec<_>>() {
+            out.push(SmrOutput::Send {
+                to: p,
+                msg: PaxosMsg::Learn {
+                    slot,
+                    cmd: cmd.clone(),
+                },
+            });
+        }
+    }
+
+    /// Handles a message from peer `from`.
+    pub fn on_message(&mut self, from: u32, msg: PaxosMsg<C>, out: &mut Vec<SmrOutput<C>>) {
+        match msg {
+            PaxosMsg::Prepare { ballot } => {
+                if ballot > self.promised {
+                    self.promised = ballot;
+                    if ballot.owner != self.id {
+                        self.role = Role::Follower;
+                    }
+                    let accepted = self
+                        .accepted
+                        .iter()
+                        .map(|(&s, (b, c))| (s, *b, c.clone()))
+                        .collect();
+                    out.push(SmrOutput::Send {
+                        to: from,
+                        msg: PaxosMsg::Promise { ballot, accepted },
+                    });
+                }
+                // Lower ballots are ignored: the promise already given is
+                // the rejection (candidates retry on timeout).
+            }
+            PaxosMsg::Promise { ballot, accepted } => {
+                if ballot != self.my_ballot {
+                    return; // stale election
+                }
+                if let Role::Candidate { promises } = &mut self.role {
+                    promises.insert(from);
+                    for (slot, b, cmd) in accepted {
+                        let better = self
+                            .election_values
+                            .get(&slot)
+                            .is_none_or(|(cur, _)| b > *cur);
+                        if better {
+                            self.election_values.insert(slot, (b, cmd));
+                        }
+                    }
+                    self.maybe_win(out);
+                }
+            }
+            PaxosMsg::Accept { ballot, slot, cmd } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    if ballot.owner != self.id {
+                        self.role = Role::Follower;
+                    }
+                    self.accept_locally(ballot, slot, cmd);
+                    out.push(SmrOutput::Send {
+                        to: from,
+                        msg: PaxosMsg::Accepted { ballot, slot },
+                    });
+                }
+            }
+            PaxosMsg::Accepted { ballot, slot } => {
+                if self.role == Role::Leader && ballot == self.my_ballot {
+                    self.tally.entry(slot).or_default().insert(from);
+                    self.maybe_commit(slot, out);
+                }
+            }
+            PaxosMsg::Learn { slot, cmd } => {
+                if let std::collections::btree_map::Entry::Vacant(e) = self.committed.entry(slot) {
+                    e.insert(cmd.clone());
+                    out.push(SmrOutput::Committed { slot, cmd });
+                }
+            }
+        }
+    }
+
+    /// Returns the gap-free committed prefix not yet handed out, advancing
+    /// the application cursor. Call after processing outputs.
+    pub fn take_committed(&mut self) -> Vec<C> {
+        let mut ready = Vec::new();
+        while let Some(cmd) = self.committed.get(&self.apply_at) {
+            ready.push(cmd.clone());
+            self.apply_at += 1;
+        }
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    type Cmd = u32;
+
+    /// Delivers all in-flight messages, optionally dropping/duplicating/
+    /// reordering them, until the cluster quiesces.
+    struct Net {
+        queue: Vec<(u32, u32, PaxosMsg<Cmd>)>,
+        rng: StdRng,
+        drop_rate: f64,
+        dup_rate: f64,
+        crashed: BTreeSet<u32>,
+    }
+
+    impl Net {
+        fn new(seed: u64, drop_rate: f64, dup_rate: f64) -> Self {
+            Net {
+                queue: Vec::new(),
+                rng: StdRng::seed_from_u64(seed),
+                drop_rate,
+                dup_rate,
+                crashed: BTreeSet::new(),
+            }
+        }
+
+        fn push_outputs(&mut self, from: u32, outs: Vec<SmrOutput<Cmd>>) {
+            for o in outs {
+                if let SmrOutput::Send { to, msg } = o {
+                    if self.rng.random::<f64>() < self.drop_rate {
+                        continue;
+                    }
+                    self.queue.push((from, to, msg.clone()));
+                    if self.rng.random::<f64>() < self.dup_rate {
+                        self.queue.push((from, to, msg));
+                    }
+                }
+            }
+        }
+
+        fn run(&mut self, replicas: &mut [Replica<Cmd>]) {
+            let mut steps = 0;
+            while !self.queue.is_empty() {
+                steps += 1;
+                assert!(steps < 100_000, "no quiescence");
+                let i = self.rng.random_range(0..self.queue.len());
+                let (from, to, msg) = self.queue.swap_remove(i);
+                if self.crashed.contains(&to) {
+                    continue;
+                }
+                let mut outs = Vec::new();
+                replicas[to as usize].on_message(from, msg, &mut outs);
+                self.push_outputs(to, outs);
+            }
+        }
+    }
+
+    fn cluster(n: u32) -> Vec<Replica<Cmd>> {
+        (0..n).map(|i| Replica::new(i, n)).collect()
+    }
+
+    fn elect(leader: u32, replicas: &mut [Replica<Cmd>], net: &mut Net) {
+        let mut outs = Vec::new();
+        replicas[leader as usize].start_election(&mut outs);
+        net.push_outputs(leader, outs);
+        net.run(replicas);
+        assert!(replicas[leader as usize].is_leader());
+    }
+
+    #[test]
+    fn single_replica_self_commits() {
+        let mut r = Replica::<Cmd>::new(0, 1);
+        let mut out = Vec::new();
+        r.start_election(&mut out);
+        assert!(r.is_leader());
+        r.propose(7, &mut out);
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, SmrOutput::Committed { cmd: 7, .. })));
+        assert_eq!(r.take_committed(), vec![7]);
+    }
+
+    #[test]
+    fn three_replicas_commit_in_order() {
+        let mut rs = cluster(3);
+        let mut net = Net::new(1, 0.0, 0.0);
+        elect(0, &mut rs, &mut net);
+        for v in [10, 11, 12] {
+            let mut outs = Vec::new();
+            rs[0].propose(v, &mut outs);
+            net.push_outputs(0, outs);
+        }
+        net.run(&mut rs);
+        for r in &mut rs {
+            assert_eq!(r.take_committed(), vec![10, 11, 12]);
+        }
+    }
+
+    #[test]
+    fn commits_survive_duplication_and_reordering() {
+        let mut rs = cluster(5);
+        let mut net = Net::new(99, 0.0, 0.4);
+        elect(2, &mut rs, &mut net);
+        for v in 0..20 {
+            let mut outs = Vec::new();
+            rs[2].propose(v, &mut outs);
+            net.push_outputs(2, outs);
+        }
+        net.run(&mut rs);
+        let expect: Vec<Cmd> = (0..20).collect();
+        for r in &mut rs {
+            assert_eq!(r.take_committed(), expect, "replica {}", r.id());
+        }
+    }
+
+    #[test]
+    fn leader_change_preserves_accepted_values() {
+        let mut rs = cluster(3);
+        let mut net = Net::new(7, 0.0, 0.0);
+        elect(0, &mut rs, &mut net);
+        // Leader proposes and replicates, then "crashes" before anything
+        // else happens.
+        let mut outs = Vec::new();
+        rs[0].propose(42, &mut outs);
+        net.push_outputs(0, outs);
+        net.run(&mut rs);
+        net.crashed.insert(0);
+
+        // Replica 1 takes over: it must re-propose 42 into the same slot.
+        let mut outs = Vec::new();
+        rs[1].start_election(&mut outs);
+        net.push_outputs(1, outs);
+        net.run(&mut rs);
+        assert!(rs[1].is_leader());
+        let mut outs = Vec::new();
+        rs[1].propose(43, &mut outs);
+        net.push_outputs(1, outs);
+        net.run(&mut rs);
+
+        assert_eq!(rs[1].take_committed(), vec![42, 43]);
+        assert_eq!(rs[2].take_committed(), vec![42, 43]);
+    }
+
+    #[test]
+    fn no_two_replicas_disagree_under_drops() {
+        // Chaos: lossy network, repeated elections; safety must hold.
+        for seed in 0..10u64 {
+            let mut rs = cluster(3);
+            let mut net = Net::new(seed, 0.15, 0.2);
+            for round in 0..3u32 {
+                let cand = (seed as u32 + round) % 3;
+                let mut outs = Vec::new();
+                rs[cand as usize].start_election(&mut outs);
+                net.push_outputs(cand, outs);
+                net.run(&mut rs);
+                if rs[cand as usize].is_leader() {
+                    for v in 0..5 {
+                        let mut outs = Vec::new();
+                        rs[cand as usize].propose(round * 100 + v, &mut outs);
+                        net.push_outputs(cand, outs);
+                    }
+                    net.run(&mut rs);
+                }
+            }
+            // Safety: committed prefixes are compatible across replicas.
+            let logs: Vec<Vec<Cmd>> = rs.iter_mut().map(|r| r.take_committed()).collect();
+            for a in &logs {
+                for b in &logs {
+                    let n = a.len().min(b.len());
+                    assert_eq!(&a[..n], &b[..n], "divergent prefixes (seed {seed})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn follower_buffers_until_leadership() {
+        let mut r = Replica::<Cmd>::new(0, 3);
+        let mut out = Vec::new();
+        r.propose(5, &mut out);
+        assert!(out.is_empty(), "no leader, no traffic");
+        // Election with a quorum of promises makes it flush the backlog.
+        r.start_election(&mut out);
+        let promise = PaxosMsg::Promise {
+            ballot: r.promised(),
+            accepted: vec![],
+        };
+        let mut out2 = Vec::new();
+        r.on_message(1, promise, &mut out2);
+        assert!(r.is_leader());
+        assert!(out2
+            .iter()
+            .any(|o| matches!(o, SmrOutput::Send { msg: PaxosMsg::Accept { cmd: 5, .. }, .. })));
+    }
+
+    #[test]
+    fn stale_ballot_messages_are_ignored() {
+        let mut r = Replica::<Cmd>::new(1, 3);
+        let mut out = Vec::new();
+        // Promise a high ballot first.
+        r.on_message(
+            2,
+            PaxosMsg::Prepare {
+                ballot: Ballot { round: 9, owner: 2 },
+            },
+            &mut out,
+        );
+        let before = r.promised();
+        // A lower Accept must be rejected silently.
+        let mut out2 = Vec::new();
+        r.on_message(
+            0,
+            PaxosMsg::Accept {
+                ballot: Ballot { round: 1, owner: 0 },
+                slot: 0,
+                cmd: 1,
+            },
+            &mut out2,
+        );
+        assert!(out2.is_empty());
+        assert_eq!(r.promised(), before);
+        assert_eq!(r.take_committed(), Vec::<Cmd>::new());
+    }
+}

@@ -1,0 +1,409 @@
+//! Destination sets (`m.dst`).
+//!
+//! FlexCast's ordering logic performs many small set operations on
+//! destination sets: membership tests in `can-deliver`, intersections when
+//! computing lowest common destinations, and iteration when forwarding to
+//! descendants. Destination sets are therefore represented as a fixed-width
+//! bitset over group ranks, which makes all of those O(1)/O(words).
+
+use crate::{Error, GroupId, Result};
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of groups supported by [`DestSet`].
+///
+/// The paper's deployments use 12 groups (one per AWS region); 128 leaves
+/// ample headroom while keeping a destination set at 16 bytes.
+pub const MAX_GROUPS: usize = 128;
+
+/// A set of destination groups, `m.dst` in the paper.
+///
+/// Backed by a `u128` bitmask where bit *i* corresponds to [`GroupId`]`(i)`.
+/// The set is value-semantic (`Copy`) and iterates in ascending rank order,
+/// which is exactly the C-DAG ancestor→descendant order FlexCast needs.
+///
+/// # Examples
+///
+/// ```
+/// use flexcast_types::{DestSet, GroupId};
+///
+/// let dst = DestSet::from_iter([GroupId(2), GroupId(0), GroupId(5)]);
+/// assert_eq!(dst.len(), 3);
+/// assert_eq!(dst.lowest(), Some(GroupId(0))); // the lca of the message
+/// assert!(dst.contains(GroupId(2)));
+/// let ranks: Vec<u16> = dst.iter().map(|g| g.rank()).collect();
+/// assert_eq!(ranks, vec![0, 2, 5]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct DestSet(u128);
+
+impl DestSet {
+    /// The empty destination set.
+    pub const EMPTY: DestSet = DestSet(0);
+
+    /// Creates an empty destination set.
+    #[inline]
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates a singleton set (a *local* message destination).
+    #[inline]
+    pub fn singleton(g: GroupId) -> Self {
+        let mut s = Self::new();
+        s.insert(g);
+        s
+    }
+
+    /// Creates the full set `{0, .., n-1}` of the first `n` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_GROUPS`.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= MAX_GROUPS, "at most {MAX_GROUPS} groups supported");
+        if n == 0 {
+            Self::EMPTY
+        } else if n == MAX_GROUPS {
+            DestSet(u128::MAX)
+        } else {
+            DestSet((1u128 << n) - 1)
+        }
+    }
+
+    /// Builds a destination set from raw ranks, validating the bound.
+    pub fn try_from_ranks<I: IntoIterator<Item = u16>>(ranks: I) -> Result<Self> {
+        let mut s = Self::new();
+        for r in ranks {
+            if (r as usize) >= MAX_GROUPS {
+                return Err(Error::GroupOutOfRange(r));
+            }
+            s.insert(GroupId(r));
+        }
+        Ok(s)
+    }
+
+    /// Inserts a group into the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group rank is `>= MAX_GROUPS`.
+    #[inline]
+    pub fn insert(&mut self, g: GroupId) {
+        assert!(g.index() < MAX_GROUPS, "group rank out of range");
+        self.0 |= 1u128 << g.index();
+    }
+
+    /// Removes a group from the set (no-op if absent).
+    #[inline]
+    pub fn remove(&mut self, g: GroupId) {
+        if g.index() < MAX_GROUPS {
+            self.0 &= !(1u128 << g.index());
+        }
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(self, g: GroupId) -> bool {
+        g.index() < MAX_GROUPS && (self.0 >> g.index()) & 1 == 1
+    }
+
+    /// Number of destinations. `len() == 1` means a *local* message,
+    /// `len() > 1` a *global* message (paper §2.2).
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if the set has no destinations.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True for a *global* message (two or more destination groups).
+    #[inline]
+    pub fn is_global(self) -> bool {
+        self.len() > 1
+    }
+
+    /// The lowest-ranked group in the set: the message's `lca` in a C-DAG
+    /// overlay (`m.lca()` in Algorithm 1).
+    #[inline]
+    pub fn lowest(self) -> Option<GroupId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(GroupId(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// The highest-ranked group in the set.
+    #[inline]
+    pub fn highest(self) -> Option<GroupId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(GroupId(127 - self.0.leading_zeros() as u16))
+        }
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: DestSet) -> DestSet {
+        DestSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: DestSet) -> DestSet {
+        DestSet(self.0 | other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(self, other: DestSet) -> DestSet {
+        DestSet(self.0 & !other.0)
+    }
+
+    /// True if `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: DestSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Members strictly lower-ranked than `g` (the *ancestors* of `g` that
+    /// are in this set, in C-DAG terminology).
+    #[inline]
+    pub fn below(self, g: GroupId) -> DestSet {
+        let mask = if g.index() == 0 {
+            0
+        } else {
+            (1u128 << g.index()) - 1
+        };
+        DestSet(self.0 & mask)
+    }
+
+    /// Members strictly higher-ranked than `g` (the *descendants* of `g`
+    /// that are in this set).
+    #[inline]
+    pub fn above(self, g: GroupId) -> DestSet {
+        let mask = if g.index() >= MAX_GROUPS - 1 {
+            0
+        } else {
+            u128::MAX << (g.index() + 1)
+        };
+        DestSet(self.0 & mask)
+    }
+
+    /// Iterates members in ascending rank order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Raw bit representation (stable across serialization).
+    #[inline]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Reconstructs a set from its raw bits.
+    #[inline]
+    pub fn from_bits(bits: u128) -> Self {
+        DestSet(bits)
+    }
+}
+
+impl FromIterator<GroupId> for DestSet {
+    fn from_iter<I: IntoIterator<Item = GroupId>>(iter: I) -> Self {
+        let mut s = DestSet::new();
+        for g in iter {
+            s.insert(g);
+        }
+        s
+    }
+}
+
+impl IntoIterator for DestSet {
+    type Item = GroupId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Ascending-rank iterator over a [`DestSet`].
+#[derive(Clone)]
+pub struct Iter(u128);
+
+impl Iterator for Iter {
+    type Item = GroupId;
+
+    #[inline]
+    fn next(&mut self) -> Option<GroupId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let tz = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(GroupId(tz as u16))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl std::fmt::Debug for DestSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ds(ranks: &[u16]) -> DestSet {
+        DestSet::try_from_ranks(ranks.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn empty_set_basics() {
+        let s = DestSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.lowest(), None);
+        assert_eq!(s.highest(), None);
+        assert!(!s.is_global());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = DestSet::new();
+        s.insert(GroupId(3));
+        s.insert(GroupId(11));
+        assert!(s.contains(GroupId(3)));
+        assert!(s.contains(GroupId(11)));
+        assert!(!s.contains(GroupId(4)));
+        s.remove(GroupId(3));
+        assert!(!s.contains(GroupId(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lowest_is_the_lca() {
+        assert_eq!(ds(&[5, 2, 9]).lowest(), Some(GroupId(2)));
+        assert_eq!(ds(&[0]).lowest(), Some(GroupId(0)));
+        assert_eq!(ds(&[127]).lowest(), Some(GroupId(127)));
+    }
+
+    #[test]
+    fn highest_member() {
+        assert_eq!(ds(&[5, 2, 9]).highest(), Some(GroupId(9)));
+        assert_eq!(ds(&[127, 0]).highest(), Some(GroupId(127)));
+    }
+
+    #[test]
+    fn local_vs_global() {
+        assert!(!ds(&[4]).is_global());
+        assert!(ds(&[4, 6]).is_global());
+    }
+
+    #[test]
+    fn all_builds_prefix_sets() {
+        assert_eq!(DestSet::all(0), DestSet::EMPTY);
+        assert_eq!(DestSet::all(3), ds(&[0, 1, 2]));
+        assert_eq!(DestSet::all(MAX_GROUPS).len(), MAX_GROUPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn all_rejects_oversize() {
+        let _ = DestSet::all(MAX_GROUPS + 1);
+    }
+
+    #[test]
+    fn try_from_ranks_validates() {
+        assert!(DestSet::try_from_ranks([0, 127]).is_ok());
+        assert!(matches!(
+            DestSet::try_from_ranks([128]),
+            Err(Error::GroupOutOfRange(128))
+        ));
+    }
+
+    #[test]
+    fn below_and_above_split_around_pivot() {
+        let s = ds(&[1, 3, 5, 7]);
+        assert_eq!(s.below(GroupId(5)), ds(&[1, 3]));
+        assert_eq!(s.above(GroupId(5)), ds(&[7]));
+        assert_eq!(s.below(GroupId(0)), DestSet::EMPTY);
+        assert_eq!(s.above(GroupId(127)), DestSet::EMPTY);
+        assert_eq!(s.below(GroupId(127)), s.difference(ds(&[])).difference(DestSet::EMPTY).below(GroupId(127)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ds(&[1, 2, 3]);
+        let b = ds(&[2, 3, 4]);
+        assert_eq!(a.intersect(b), ds(&[2, 3]));
+        assert_eq!(a.union(b), ds(&[1, 2, 3, 4]));
+        assert_eq!(a.difference(b), ds(&[1]));
+        assert!(ds(&[2, 3]).is_subset(a));
+        assert!(!a.is_subset(b));
+    }
+
+    #[test]
+    fn iterates_in_ascending_rank_order() {
+        let s = ds(&[9, 0, 4, 100]);
+        let order: Vec<u16> = s.iter().map(|g| g.rank()).collect();
+        assert_eq!(order, vec![0, 4, 9, 100]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        assert_eq!(format!("{:?}", ds(&[1, 3])), "{g1, g3}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_bits(ranks in proptest::collection::vec(0u16..MAX_GROUPS as u16, 0..20)) {
+            let s = DestSet::try_from_ranks(ranks.iter().copied()).unwrap();
+            prop_assert_eq!(DestSet::from_bits(s.bits()), s);
+        }
+
+        #[test]
+        fn prop_len_matches_iteration(ranks in proptest::collection::vec(0u16..MAX_GROUPS as u16, 0..20)) {
+            let s = DestSet::try_from_ranks(ranks.iter().copied()).unwrap();
+            prop_assert_eq!(s.iter().count(), s.len());
+        }
+
+        #[test]
+        fn prop_below_above_partition(ranks in proptest::collection::vec(0u16..MAX_GROUPS as u16, 1..20), pivot in 0u16..MAX_GROUPS as u16) {
+            let s = DestSet::try_from_ranks(ranks.iter().copied()).unwrap();
+            let g = GroupId(pivot);
+            let lo = s.below(g);
+            let hi = s.above(g);
+            // below/above partition the set minus the pivot itself.
+            prop_assert_eq!(lo.intersect(hi), DestSet::EMPTY);
+            let mut merged = lo.union(hi);
+            if s.contains(g) { merged.insert(g); }
+            prop_assert_eq!(merged, s);
+            for m in lo.iter() { prop_assert!(m < g); }
+            for m in hi.iter() { prop_assert!(m > g); }
+        }
+
+        #[test]
+        fn prop_lowest_is_min(ranks in proptest::collection::vec(0u16..MAX_GROUPS as u16, 1..20)) {
+            let s = DestSet::try_from_ranks(ranks.iter().copied()).unwrap();
+            let min = ranks.iter().copied().min().unwrap();
+            prop_assert_eq!(s.lowest(), Some(GroupId(min)));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared across the workspace.
+
+/// Errors surfaced by FlexCast crates.
+///
+/// Protocol engines themselves are infallible state machines (malformed
+/// input is a bug, not an error); this type covers configuration,
+/// serialization, and I/O boundaries.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A group rank exceeded [`crate::MAX_GROUPS`].
+    GroupOutOfRange(u16),
+    /// An overlay definition was structurally invalid (e.g. a tree with a
+    /// cycle, or an edge referencing an unknown group).
+    InvalidOverlay(String),
+    /// A message was addressed to no group at all.
+    EmptyDestinations,
+    /// Wire-format encoding failed (value not representable).
+    Encode(String),
+    /// Wire-format decoding failed (truncated or corrupt input).
+    Decode(String),
+    /// An I/O error from the TCP runtime.
+    Io(std::io::Error),
+    /// A configuration value was out of range or inconsistent.
+    Config(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::GroupOutOfRange(r) => {
+                write!(f, "group rank {r} exceeds the supported maximum")
+            }
+            Error::InvalidOverlay(msg) => write!(f, "invalid overlay: {msg}"),
+            Error::EmptyDestinations => write!(f, "message has an empty destination set"),
+            Error::Encode(msg) => write!(f, "encode error: {msg}"),
+            Error::Decode(msg) => write!(f, "decode error: {msg}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(Error::GroupOutOfRange(200).to_string().contains("200"));
+        assert!(Error::InvalidOverlay("dup edge".into())
+            .to_string()
+            .contains("dup edge"));
+        assert!(Error::EmptyDestinations.to_string().contains("empty"));
+        assert!(Error::Decode("short".into()).to_string().contains("short"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

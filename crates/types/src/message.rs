@@ -1,0 +1,210 @@
+//! Multicast messages and their identifiers.
+
+use crate::{DestSet, Error, GroupId, Result};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a client process (`m.sender` in the paper).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u32);
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Globally unique message identifier (`m.id`).
+///
+/// Uniqueness is structural: each client stamps its messages with a local
+/// sequence number, so `(sender, seq)` never collides across the system.
+/// Ordering on `MsgId` is lexicographic and used only for deterministic
+/// tie-breaking in data structures, never for delivery order.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct MsgId {
+    /// The issuing client.
+    pub sender: ClientId,
+    /// Client-local sequence number.
+    pub seq: u32,
+}
+
+impl MsgId {
+    /// Creates a message id from a client id and sequence number.
+    #[inline]
+    pub fn new(sender: ClientId, seq: u32) -> Self {
+        MsgId { sender, seq }
+    }
+}
+
+impl std::fmt::Display for MsgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}.{}", self.sender.0, self.seq)
+    }
+}
+
+/// Application payload carried by a message.
+///
+/// The protocols never inspect the payload; it only contributes to wire
+/// size (Figure 8 measures bytes on the wire). A thin wrapper over
+/// `Vec<u8>` keeps the engines copy-cheap while staying serde-friendly.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Payload(pub Vec<u8>);
+
+impl Payload {
+    /// Creates an empty payload.
+    pub fn empty() -> Self {
+        Payload(Vec::new())
+    }
+
+    /// Creates a payload of `n` zero bytes (sized filler for benchmarks).
+    pub fn zeroes(n: usize) -> Self {
+        Payload(vec![0; n])
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(v)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload(v.to_vec())
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Payload({}B)", self.0.len())
+    }
+}
+
+/// An application multicast message (paper Algorithm 1, lines 1–7).
+///
+/// A message knows its unique [`MsgId`], its destination groups `dst`, and
+/// an opaque payload. `lca()` returns the lowest-ranked destination, which
+/// in FlexCast's C-DAG overlay is where the message enters the overlay.
+///
+/// # Examples
+///
+/// ```
+/// use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId};
+///
+/// let m = Message::new(
+///     MsgId::new(ClientId(7), 0),
+///     DestSet::from_iter([GroupId(1), GroupId(4)]),
+///     b"new-order".as_slice().into(),
+/// ).unwrap();
+/// assert_eq!(m.lca(), GroupId(1));
+/// assert!(m.is_global());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Message {
+    /// Globally unique identifier.
+    pub id: MsgId,
+    /// Destination groups (`m.dst`).
+    pub dst: DestSet,
+    /// Opaque application payload.
+    pub payload: Payload,
+}
+
+impl Message {
+    /// Creates a message, rejecting empty destination sets.
+    pub fn new(id: MsgId, dst: DestSet, payload: Payload) -> Result<Self> {
+        if dst.is_empty() {
+            return Err(Error::EmptyDestinations);
+        }
+        Ok(Message { id, dst, payload })
+    }
+
+    /// The lowest common ancestor of the destinations: the lowest-ranked
+    /// group in `dst` (`m.lca()` in Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for messages built through [`Message::new`], which
+    /// rejects empty destination sets.
+    #[inline]
+    pub fn lca(&self) -> GroupId {
+        self.dst
+            .lowest()
+            .expect("Message::new guarantees a non-empty destination set")
+    }
+
+    /// True if the message is addressed to two or more groups.
+    #[inline]
+    pub fn is_global(&self) -> bool {
+        self.dst.is_global()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(sender: u32, seq: u32, ranks: &[u16]) -> Message {
+        Message::new(
+            MsgId::new(ClientId(sender), seq),
+            DestSet::try_from_ranks(ranks.iter().copied()).unwrap(),
+            Payload::empty(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn msg_id_uniqueness_is_structural() {
+        let a = MsgId::new(ClientId(1), 0);
+        let b = MsgId::new(ClientId(1), 1);
+        let c = MsgId::new(ClientId(2), 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, MsgId::new(ClientId(1), 0));
+    }
+
+    #[test]
+    fn lca_is_lowest_destination() {
+        assert_eq!(msg(0, 0, &[4, 2, 9]).lca(), GroupId(2));
+        assert_eq!(msg(0, 0, &[7]).lca(), GroupId(7));
+    }
+
+    #[test]
+    fn empty_destinations_rejected() {
+        let r = Message::new(MsgId::new(ClientId(0), 0), DestSet::EMPTY, Payload::empty());
+        assert!(matches!(r, Err(Error::EmptyDestinations)));
+    }
+
+    #[test]
+    fn local_vs_global_classification() {
+        assert!(!msg(0, 0, &[3]).is_global());
+        assert!(msg(0, 0, &[3, 5]).is_global());
+    }
+
+    #[test]
+    fn payload_helpers() {
+        assert_eq!(Payload::zeroes(16).len(), 16);
+        assert!(Payload::empty().is_empty());
+        let p: Payload = vec![1, 2, 3].into();
+        assert_eq!(p.len(), 3);
+        assert_eq!(format!("{:?}", p), "Payload(3B)");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MsgId::new(ClientId(3), 9).to_string(), "m3.9");
+        assert_eq!(ClientId(3).to_string(), "c3");
+    }
+}

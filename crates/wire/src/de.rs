@@ -1,0 +1,347 @@
+//! The deserializer half of the wire format.
+
+use crate::varint::{read_u128, unzigzag};
+use crate::WireError;
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+
+/// Deserializes a value from `bytes`, requiring the input to be consumed
+/// exactly (trailing bytes are an error — they indicate framing bugs).
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, flexcast_types::Error> {
+    let mut de = Deserializer { buf: bytes, pos: 0 };
+    let value = T::deserialize(&mut de).map_err(|e| e.0)?;
+    if de.pos != bytes.len() {
+        return Err(flexcast_types::Error::Decode(format!(
+            "{} trailing bytes after value",
+            bytes.len() - de.pos
+        )));
+    }
+    Ok(value)
+}
+
+/// Streaming deserializer over a byte slice.
+pub struct Deserializer<'de> {
+    buf: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> Deserializer<'de> {
+    fn varint(&mut self) -> Result<u128, WireError> {
+        read_u128(self.buf, &mut self.pos)
+    }
+
+    fn svarint(&mut self) -> Result<i128, WireError> {
+        Ok(unzigzag(self.varint()?))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'de [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::decode("unexpected end of input"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn byte(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn length(&mut self) -> Result<usize, WireError> {
+        let v = self.varint()?;
+        // Defensive bound: a length can never exceed the remaining input
+        // (each element takes at least one byte), so huge lengths from
+        // corrupt input fail fast instead of triggering massive allocation.
+        let remaining = (self.buf.len() - self.pos) as u128;
+        if v > remaining {
+            return Err(WireError::decode(format!(
+                "length {v} exceeds remaining input {remaining}"
+            )));
+        }
+        Ok(v as usize)
+    }
+}
+
+macro_rules! de_uint {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+            let v = self.varint()?;
+            let v = <$ty>::try_from(v)
+                .map_err(|_| WireError::decode(concat!(stringify!($ty), " out of range")))?;
+            visitor.$visit(v)
+        }
+    };
+}
+
+macro_rules! de_sint {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+            let v = self.svarint()?;
+            let v = <$ty>::try_from(v)
+                .map_err(|_| WireError::decode(concat!(stringify!($ty), " out of range")))?;
+            visitor.$visit(v)
+        }
+    };
+}
+
+impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
+    type Error = WireError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::decode(
+            "wire format is not self-describing; deserialize_any unsupported",
+        ))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.byte()? {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(WireError::decode(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    de_uint!(deserialize_u8, visit_u8, u8);
+    de_uint!(deserialize_u16, visit_u16, u16);
+    de_uint!(deserialize_u32, visit_u32, u32);
+    de_uint!(deserialize_u64, visit_u64, u64);
+    de_sint!(deserialize_i8, visit_i8, i8);
+    de_sint!(deserialize_i16, visit_i16, i16);
+    de_sint!(deserialize_i32, visit_i32, i32);
+    de_sint!(deserialize_i64, visit_i64, i64);
+
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let v = self.varint()?;
+        visitor.visit_u128(v)
+    }
+
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let v = self.svarint()?;
+        visitor.visit_i128(v)
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let b = self.take(4)?;
+        visitor.visit_f32(f32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let b = self.take(8)?;
+        visitor.visit_f64(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let v = self.varint()?;
+        let c = u32::try_from(v)
+            .ok()
+            .and_then(char::from_u32)
+            .ok_or_else(|| WireError::decode("invalid char scalar"))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let n = self.length()?;
+        let bytes = self.take(n)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| WireError::decode("invalid utf-8"))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let n = self.length()?;
+        visitor.visit_borrowed_bytes(self.take(n)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.byte()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(WireError::decode(format!("invalid option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.length()?;
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.length()?;
+        visitor.visit_map(Counted { de: self, left: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::decode("identifiers are not encoded on the wire"))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::decode(
+            "wire format cannot skip unknown fields; schemas must match",
+        ))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    left: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
+    type Error = WireError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, WireError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
+    type Error = WireError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, WireError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, WireError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = WireError;
+    type Variant = VariantAccess<'a, 'de>;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), WireError> {
+        let idx = self.de.varint()?;
+        let idx = u32::try_from(idx).map_err(|_| WireError::decode("variant index overflow"))?;
+        let value = seed.deserialize(idx.into_deserializer())?;
+        Ok((value, VariantAccess { de: self.de }))
+    }
+}
+
+struct VariantAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de> de::VariantAccess<'de> for VariantAccess<'_, 'de> {
+    type Error = WireError;
+
+    fn unit_variant(self) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, WireError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}

@@ -1,0 +1,76 @@
+//! Overlay design: how the C-DAG rank order shapes FlexCast's latency.
+//!
+//! The paper's §5.4 shows FlexCast is sensitive to the chosen overlay
+//! (O1 beats O2). This example goes further than the paper: it compares
+//! the two published overlays against the identity order and a
+//! deliberately bad order (seeded at the most remote region), so an
+//! operator can see *why* the greedy nearest-neighbour construction works
+//! — clients' frequent destination pairs should sit on adjacent ranks.
+//!
+//! ```sh
+//! cargo run --release --example overlay_design
+//! ```
+
+use flexcast_gtpcc::WorkloadMode;
+use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
+use flexcast_overlay::{presets, regions, CDagOrder};
+use flexcast_sim::SimTime;
+use flexcast_types::GroupId;
+
+fn experiment(order: CDagOrder) -> ExperimentConfig {
+    ExperimentConfig {
+        protocol: ProtocolKind::FlexCast(order),
+        locality: 0.95,
+        mode: WorkloadMode::GlobalOnly,
+        n_clients: 48,
+        duration: SimTime::from_secs(4),
+        seed: 3,
+        jitter_ms: 2.0,
+        flush_period: Some(SimTime::from_ms(250.0)),
+        server_service_ms: 0.05,
+        server_processing_ms: 20.0,
+    }
+}
+
+fn main() {
+    let matrix = regions::aws12();
+    let candidates: Vec<(&str, CDagOrder)> = vec![
+        ("O1 (greedy from London)", presets::o1()),
+        ("O2 (greedy from Virginia)", presets::o2()),
+        ("identity (region ids)", CDagOrder::identity(12)),
+        (
+            // Worst seed: start the chain at São Paulo, the most remote
+            // region, so early ranks burn long links.
+            "greedy from São Paulo",
+            CDagOrder::nearest_neighbor_chain(&matrix, GroupId(4)),
+        ),
+    ];
+
+    println!("FlexCast latency vs C-DAG rank order (gTPC-C, 95% locality)\n");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "overlay", "1st 90p", "2nd 90p", "3rd 90p"
+    );
+    for (label, order) in candidates {
+        let chain: Vec<String> = order
+            .order()
+            .iter()
+            .map(|g| (g.rank() + 1).to_string())
+            .collect();
+        let mut result = run(&experiment(order));
+        result.check.assert_ok();
+        let row: Vec<String> = (1..=3)
+            .map(|rank| {
+                result
+                    .percentile_row(rank)
+                    .map(|(p90, _, _)| format!("{p90:10.1}"))
+                    .unwrap_or_else(|| format!("{:>10}", "-"))
+            })
+            .collect();
+        println!("{label:<28} {}", row.join(" "));
+        println!("    rank order: {}", chain.join(" "));
+    }
+    println!("\nLower first-response latency correlates with placing each");
+    println!("region's nearest neighbour on the next rank: the lca of a");
+    println!("local pair then delivers immediately and forwards one hop.");
+}

@@ -1,0 +1,21 @@
+//! FlexCast suite: umbrella crate for the FlexCast reproduction.
+//!
+//! The implementation lives in the member crates; this package hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). Start with:
+//!
+//! * [`flexcast_core`] — the FlexCast protocol engine,
+//! * [`flexcast_overlay`] — C-DAG and tree overlays plus the AWS model,
+//! * [`flexcast_harness`] — the experiment runner used by the figures,
+//! * `cargo run --example quickstart` for a first tour.
+
+pub use flexcast_baselines as baselines;
+pub use flexcast_core as core_protocol;
+pub use flexcast_gtpcc as gtpcc;
+pub use flexcast_harness as harness;
+pub use flexcast_net as net;
+pub use flexcast_overlay as overlay;
+pub use flexcast_sim as sim;
+pub use flexcast_smr as smr;
+pub use flexcast_types as types;
+pub use flexcast_wire as wire;
