@@ -117,12 +117,7 @@ mod tests {
     ///           / \   \
     ///          3   4   5
     fn tree() -> Tree {
-        Tree::from_parents(parents_of(
-            6,
-            0,
-            &[(1, 0), (2, 0), (3, 1), (4, 1), (5, 2)],
-        ))
-        .unwrap()
+        Tree::from_parents(parents_of(6, 0, &[(1, 0), (2, 0), (3, 1), (4, 1), (5, 2)])).unwrap()
     }
 
     fn msg(seq: u32, ranks: &[u16]) -> Message {

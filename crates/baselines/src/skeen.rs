@@ -320,6 +320,7 @@ mod tests {
         let mut o = Vec::new();
         a.on_client(m1.clone(), &mut o); // lts 1
         a.on_client(m2.clone(), &mut o); // lts 2
+
         // m2 commits with final 2 but m1 (lts 1, uncommitted) could still
         // commit below 2 → m2 must wait.
         let mut out = Vec::new();

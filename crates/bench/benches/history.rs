@@ -62,11 +62,7 @@ fn bench_blocking_predecessor(c: &mut Criterion) {
             // Everything delivered: the walk visits the whole past.
             let delivered: BTreeSet<MsgId> = (0..n).map(id).collect();
             b.iter(|| {
-                black_box(h.blocking_predecessor(
-                    black_box(id(n - 1)),
-                    GroupId(3),
-                    &delivered,
-                ))
+                black_box(h.blocking_predecessor(black_box(id(n - 1)), GroupId(3), &delivered))
             });
         });
     }

@@ -60,8 +60,7 @@ fn run_flexcast(msgs: &[Message]) -> u64 {
 }
 
 fn run_skeen(msgs: &[Message]) -> u64 {
-    let mut engines: Vec<SkeenGroup> =
-        (0..N_GROUPS).map(|g| SkeenGroup::new(GroupId(g))).collect();
+    let mut engines: Vec<SkeenGroup> = (0..N_GROUPS).map(|g| SkeenGroup::new(GroupId(g))).collect();
     let mut delivered = 0u64;
     let mut frontier: Vec<(GroupId, GroupId, flexcast_baselines::SkeenPacket)> = Vec::new();
     for m in msgs {

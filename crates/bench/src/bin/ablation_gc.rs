@@ -32,7 +32,11 @@ fn main() {
         };
         let mut result = run(&cfg);
         result.check.assert_ok();
-        let kbps: f64 = result.per_node.iter().map(|n| n.kbytes_per_sec).sum::<f64>()
+        let kbps: f64 = result
+            .per_node
+            .iter()
+            .map(|n| n.kbytes_per_sec)
+            .sum::<f64>()
             / result.per_node.len() as f64;
         let p90 = result
             .percentile_row(1)
@@ -43,10 +47,7 @@ fn main() {
         } else {
             format!("{flush_ms:.0}")
         };
-        println!(
-            "{label:>8} {kbps:18.2} {p90:14.1} {:9}",
-            result.completed
-        );
+        println!("{label:>8} {kbps:18.2} {p90:14.1} {:9}", result.completed);
     }
     println!("# Without GC histories grow monotonically (higher KB/s);");
     println!("# aggressive flushing adds multicast traffic of its own.");

@@ -5,22 +5,30 @@ use flexcast_bench::{quick_mode, run_checked};
 use flexcast_harness::{ExperimentConfig, ProtocolKind};
 use flexcast_overlay::presets;
 
+/// A labelled protocol constructor, one table row per protocol.
+type NamedProtocol = (&'static str, fn() -> ProtocolKind);
+
 fn main() {
     let client_counts: Vec<usize> = if quick_mode() {
         vec![24, 96]
     } else {
         vec![24, 240, 480, 720, 960, 1200, 1440]
     };
-    let protocols: Vec<(&str, fn() -> ProtocolKind)> = vec![
+    let protocols: Vec<NamedProtocol> = vec![
         ("Distributed", || ProtocolKind::Distributed),
-        ("Hierarchical", || {
-            ProtocolKind::Hierarchical(presets::t1())
-        }),
+        ("Hierarchical", || ProtocolKind::Hierarchical(presets::t1())),
         ("FlexCast", || ProtocolKind::FlexCast(presets::o1())),
     ];
 
     println!("# Figure 6 — throughput (kops/sec) vs clients, 99% locality, full gTPC-C");
-    println!("# clients {}", protocols.iter().map(|(l, _)| *l).collect::<Vec<_>>().join(" "));
+    println!(
+        "# clients {}",
+        protocols
+            .iter()
+            .map(|(l, _)| *l)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     for &n in &client_counts {
         let mut row = format!("{n:>6}");
         for (_, mk) in &protocols {

@@ -6,13 +6,14 @@ use flexcast_bench::{maybe_quick, print_cdf, print_latency_result, run_checked};
 use flexcast_harness::{ExperimentConfig, ProtocolKind};
 use flexcast_overlay::presets;
 
+/// A labelled protocol constructor, one table row per protocol.
+type NamedProtocol = (&'static str, fn() -> ProtocolKind);
+
 fn main() {
     let localities = [0.90, 0.95, 0.99];
-    let protocols: Vec<(&str, fn() -> ProtocolKind)> = vec![
+    let protocols: Vec<NamedProtocol> = vec![
         ("FlexCast", || ProtocolKind::FlexCast(presets::o1())),
-        ("Hierarchical", || {
-            ProtocolKind::Hierarchical(presets::t1())
-        }),
+        ("Hierarchical", || ProtocolKind::Hierarchical(presets::t1())),
         ("Distributed", || ProtocolKind::Distributed),
     ];
 

@@ -11,7 +11,11 @@ use flexcast_sim::SimTime;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let seeds: Vec<u64> = if quick { (0..3).collect() } else { (0..10).collect() };
+    let seeds: Vec<u64> = if quick {
+        (0..3).collect()
+    } else {
+        (0..10).collect()
+    };
     let protocols: Vec<(String, ProtocolKind)> = vec![
         ("FlexCast O1".into(), ProtocolKind::FlexCast(presets::o1())),
         ("FlexCast O2".into(), ProtocolKind::FlexCast(presets::o2())),

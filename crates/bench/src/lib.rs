@@ -38,7 +38,10 @@ pub fn print_cdf(label: &str, summary: &mut Summary) {
 pub fn print_percentiles(label: &str, summary: &mut Summary) {
     match summary.p90_p95_p99() {
         Some((p90, p95, p99)) => {
-            println!("  {label:<24} 90p={p90:8.1}  95p={p95:8.1}  99p={p99:8.1}  (n={})", summary.len())
+            println!(
+                "  {label:<24} 90p={p90:8.1}  95p={p95:8.1}  99p={p99:8.1}  (n={})",
+                summary.len()
+            )
         }
         None => println!("  {label:<24} (no samples)"),
     }

@@ -201,9 +201,7 @@ impl FlexCastGroup {
                             missing.push(format!("({x} via {n})"));
                         }
                     }
-                    let blocker = self
-                        .hst
-                        .blocking_predecessor(head, self.g, &self.delivered);
+                    let blocker = self.hst.blocking_predecessor(head, self.g, &self.delivered);
                     let _ = writeln!(
                         out,
                         "  head {head} dst={:?} missing=[{}] blocker={blocker:?} qlen={}",
@@ -331,8 +329,7 @@ impl FlexCastGroup {
     /// the watermark so the residual set stays small.
     fn note_pruned(&mut self, ids: &[MsgId]) {
         self.pruned_residual.extend(ids.iter().copied());
-        let clients: BTreeSet<flexcast_types::ClientId> =
-            ids.iter().map(|id| id.sender).collect();
+        let clients: BTreeSet<flexcast_types::ClientId> = ids.iter().map(|id| id.sender).collect();
         for c in clients {
             let mut next = match self.pruned_watermark.get(&c) {
                 Some(&wm) => wm.wrapping_add(1),
@@ -378,9 +375,7 @@ impl FlexCastGroup {
     /// Open-dependency and clean-set maintenance after a delta merge.
     fn post_merge(&mut self, delta: &HistoryDelta) {
         for v in &delta.verts {
-            if v.dst.contains(self.g)
-                && !self.delivered.contains(&v.id)
-                && self.hst.contains(v.id)
+            if v.dst.contains(self.g) && !self.delivered.contains(&v.id) && self.hst.contains(v.id)
             {
                 self.open_deps.insert(v.id);
             }
@@ -547,7 +542,11 @@ impl FlexCastGroup {
         let Some(highest_dst) = mref.dst.highest() else {
             return newly;
         };
-        let mine = self.my_notifs.get(&mref.id).copied().unwrap_or(DestSet::EMPTY);
+        let mine = self
+            .my_notifs
+            .get(&mref.id)
+            .copied()
+            .unwrap_or(DestSet::EMPTY);
         for d in (self.g.rank() + 1)..highest_dst.rank() {
             let d = GroupId(d);
             if mref.dst.contains(d) || mine.contains(d) || newly.contains(d) {
@@ -645,9 +644,9 @@ impl FlexCastGroup {
     /// Flush garbage collection: prunes everything that precedes `fence`
     /// and rotates the two-epoch tombstone sets.
     fn prune(&mut self, fence: MsgId) {
-        let pruned =
-            self.hst
-                .prune_before(fence, &mut self.vert_cursor, &mut self.edge_cursor);
+        let pruned = self
+            .hst
+            .prune_before(fence, &mut self.vert_cursor, &mut self.edge_cursor);
         for id in &pruned {
             self.delivered.remove(id);
             self.pending.remove(id);
@@ -785,9 +784,7 @@ mod tests {
         let s = sends(&out_b);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].0, C);
-        assert!(
-            matches!(&s[0].1, Packet::Ack { mref, via, .. } if mref.id == m.id && *via == B)
-        );
+        assert!(matches!(&s[0].1, Packet::Ack { mref, via, .. } if mref.id == m.id && *via == B));
     }
 
     #[test]
@@ -814,11 +811,19 @@ mod tests {
             let mut out_a2 = Vec::new();
             let mut a2 = FlexCastGroup::new(A, 3);
             a2.on_client(m.clone(), &mut out_a2);
-            sends(&out_a2).into_iter().find(|(to, _)| *to == B).unwrap().1
+            sends(&out_a2)
+                .into_iter()
+                .find(|(to, _)| *to == B)
+                .unwrap()
+                .1
         };
         let mut out_b = Vec::new();
         b.on_packet(A, pkt_to_b, &mut out_b);
-        let ack_to_c = sends(&out_b).into_iter().find(|(to, _)| *to == C).unwrap().1;
+        let ack_to_c = sends(&out_b)
+            .into_iter()
+            .find(|(to, _)| *to == C)
+            .unwrap()
+            .1;
         let mut out_c2 = Vec::new();
         c.on_packet(B, ack_to_c, &mut out_c2);
         assert_eq!(deliveries(&out_c2), vec![m.id]);
@@ -834,8 +839,18 @@ mod tests {
         let mut b = FlexCastGroup::new(B, 3);
         let mut out_a = Vec::new();
         a.on_client(m.clone(), &mut out_a);
-        let pkt_to_b = sends(&out_a).iter().find(|(t, _)| *t == B).unwrap().1.clone();
-        let pkt_to_c = sends(&out_a).iter().find(|(t, _)| *t == C).unwrap().1.clone();
+        let pkt_to_b = sends(&out_a)
+            .iter()
+            .find(|(t, _)| *t == B)
+            .unwrap()
+            .1
+            .clone();
+        let pkt_to_c = sends(&out_a)
+            .iter()
+            .find(|(t, _)| *t == C)
+            .unwrap()
+            .1
+            .clone();
         let mut out_b = Vec::new();
         b.on_packet(A, pkt_to_b, &mut out_b);
         let ack_to_c = sends(&out_b).into_iter().find(|(t, _)| *t == C).unwrap().1;
@@ -906,8 +921,18 @@ mod tests {
         // A delivers m2 and forwards to B and C.
         let mut out_a = Vec::new();
         a.on_client(m2.clone(), &mut out_a);
-        let m2_to_b = sends(&out_a).iter().find(|(t, _)| *t == B).unwrap().1.clone();
-        let m2_to_c = sends(&out_a).iter().find(|(t, _)| *t == C).unwrap().1.clone();
+        let m2_to_b = sends(&out_a)
+            .iter()
+            .find(|(t, _)| *t == B)
+            .unwrap()
+            .1
+            .clone();
+        let m2_to_c = sends(&out_a)
+            .iter()
+            .find(|(t, _)| *t == C)
+            .unwrap()
+            .1
+            .clone();
 
         // C sees m2 first: must block on B's ack (condition 1).
         let mut out_c1 = Vec::new();
@@ -1037,10 +1062,18 @@ mod tests {
         // carries m0's vertex in the history delta).
         let mut out_01 = Vec::new();
         e0.on_client(m0.clone(), &mut out_01);
-        let m0_to_2 = sends(&out_01).into_iter().find(|(t, _)| *t == g2).unwrap().1;
+        let m0_to_2 = sends(&out_01)
+            .into_iter()
+            .find(|(t, _)| *t == g2)
+            .unwrap()
+            .1;
         let mut out_02 = Vec::new();
         e0.on_client(m1.clone(), &mut out_02);
-        let m1_to_1 = sends(&out_02).into_iter().find(|(t, _)| *t == g1).unwrap().1;
+        let m1_to_1 = sends(&out_02)
+            .into_iter()
+            .find(|(t, _)| *t == g1)
+            .unwrap()
+            .1;
 
         // Group 1 delivers m1, then m2 (it is m2's lca). Forwarding m2 it
         // must notif group 2: 2 < 3 ∈ m2.dst, 2 ∉ m2.dst, and group 1's
@@ -1266,16 +1299,9 @@ mod tests {
         for x in 0..n {
             for y in (x + 1)..n {
                 let (ox, oy) = (order_at(GroupId(x)), order_at(GroupId(y)));
-                let shared: Vec<MsgId> = ox
-                    .iter()
-                    .copied()
-                    .filter(|id| oy.contains(id))
-                    .collect();
-                let oy_shared: Vec<MsgId> = oy
-                    .iter()
-                    .copied()
-                    .filter(|id| ox.contains(id))
-                    .collect();
+                let shared: Vec<MsgId> = ox.iter().copied().filter(|id| oy.contains(id)).collect();
+                let oy_shared: Vec<MsgId> =
+                    oy.iter().copied().filter(|id| ox.contains(id)).collect();
                 assert_eq!(shared, oy_shared, "groups g{x} and g{y} disagree");
             }
         }

@@ -33,7 +33,9 @@ impl MsgRef {
 
     /// The lowest-ranked destination (`m.lca()`).
     pub fn lca(&self) -> GroupId {
-        self.dst.lowest().expect("history vertices have destinations")
+        self.dst
+            .lowest()
+            .expect("history vertices have destinations")
     }
 }
 
@@ -381,10 +383,11 @@ impl History {
     /// protocol maintains acyclicity as an invariant).
     pub fn is_acyclic(&self) -> bool {
         // Kahn's algorithm over the retained graph.
-        let mut indegree: BTreeMap<MsgId, usize> =
-            self.verts.keys().map(|&id| (id, 0)).collect();
+        let mut indegree: BTreeMap<MsgId, usize> = self.verts.keys().map(|&id| (id, 0)).collect();
         for (_, after) in self.edges() {
-            *indegree.get_mut(&after).expect("edge endpoints are vertices") += 1;
+            *indegree
+                .get_mut(&after)
+                .expect("edge endpoints are vertices") += 1;
         }
         let mut ready: Vec<MsgId> = indegree
             .iter()

@@ -74,7 +74,9 @@ impl ChaosNet {
     fn drain(&mut self, mut k: usize) {
         let mut steps = 0;
         while self.step(k) {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             steps += 1;
             assert!(steps < 1_000_000, "relay did not quiesce");
         }
@@ -88,7 +90,7 @@ fn arb_workload(n_groups: u16) -> impl Strategy<Value = Vec<DestSet>> {
     )
     .prop_map(|sets| {
         sets.into_iter()
-            .map(|ranks| DestSet::try_from_ranks(ranks.into_iter()).unwrap())
+            .map(|ranks| DestSet::try_from_ranks(ranks).unwrap())
             .collect()
     })
 }
@@ -97,12 +99,7 @@ fn check_run(n_groups: u16, dsts: Vec<DestSet>, schedule_seed: usize, interleave
     let mut net = ChaosNet::new(n_groups);
     let mut registry: BTreeMap<MsgId, DestSet> = BTreeMap::new();
     for (i, dst) in dsts.iter().enumerate() {
-        let m = Message::new(
-            MsgId::new(ClientId(0), i as u32),
-            *dst,
-            Payload::empty(),
-        )
-        .unwrap();
+        let m = Message::new(MsgId::new(ClientId(0), i as u32), *dst, Payload::empty()).unwrap();
         registry.insert(m.id, m.dst);
         net.inject(m);
         // Interleave network steps with injections for adversarial mixes.
@@ -232,15 +229,13 @@ fn gc_under_chaotic_interleaving() {
                 let a = (seed + seq as usize) % n as usize;
                 let b = (a + 1 + (seq as usize % (n as usize - 1))) % n as usize;
                 let dst = DestSet::try_from_ranks([a as u16, b as u16]).unwrap();
-                let m =
-                    Message::new(MsgId::new(ClientId(1), seq), dst, Payload::empty()).unwrap();
+                let m = Message::new(MsgId::new(ClientId(1), seq), dst, Payload::empty()).unwrap();
                 seq += 1;
                 net.inject(m);
                 net.step(seed.wrapping_add(seq as usize));
             }
             // Periodic flush, as the distinguished process would issue.
-            let flush =
-                FlexCastGroup::flush_message(MsgId::new(ClientId(9), round), n);
+            let flush = FlexCastGroup::flush_message(MsgId::new(ClientId(9), round), n);
             net.inject(flush);
             net.drain(seed.wrapping_mul(31).wrapping_add(round as usize));
         }

@@ -136,8 +136,7 @@ mod tests {
     fn payload_size_grows_with_lines() {
         let mut t = txn();
         let small = t.payload().len();
-        t.lines
-            .extend(std::iter::repeat_n(t.lines[0], 10));
+        t.lines.extend(std::iter::repeat_n(t.lines[0], 10));
         assert!(t.payload().len() > small);
     }
 }

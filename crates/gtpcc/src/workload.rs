@@ -146,9 +146,7 @@ impl Generator {
                     // TPC-C: 1 % remote per line; gTPC-C uses 2 % (§5.3).
                     let supply = if self.rng.random::<f64>() < 0.02 {
                         let w = self.pick_remote(home);
-                        if warehouses.len() < self.cfg.max_warehouses
-                            || warehouses.contains(w)
-                        {
+                        if warehouses.len() < self.cfg.max_warehouses || warehouses.contains(w) {
                             warehouses.insert(w);
                             w
                         } else {
@@ -218,7 +216,10 @@ mod tests {
         }
         assert_eq!(counts.len(), 2);
         let no = counts[&TxnType::NewOrder] as f64 / 5_000.0;
-        assert!((no - 0.511).abs() < 0.03, "new-order share ≈ 45/88, got {no}");
+        assert!(
+            (no - 0.511).abs() < 0.03,
+            "new-order share ≈ 45/88, got {no}"
+        );
     }
 
     #[test]
@@ -276,7 +277,10 @@ mod tests {
                 hit90 += 1;
             }
         }
-        assert!((hit90 as f64) < (hit as f64), "lower locality spreads picks");
+        assert!(
+            (hit90 as f64) < (hit as f64),
+            "lower locality spreads picks"
+        );
     }
 
     #[test]
@@ -289,9 +293,7 @@ mod tests {
                 for l in &t.lines {
                     assert!((1..=10).contains(&l.quantity));
                     assert!((1..=100_000).contains(&l.item_id));
-                    assert!(t
-                        .warehouses
-                        .contains(GroupId(l.supply_warehouse)));
+                    assert!(t.warehouses.contains(GroupId(l.supply_warehouse)));
                 }
             }
         }

@@ -4,10 +4,10 @@ use crate::checker::DeliveryEvent;
 use crate::netmsg::NetMsg;
 use flexcast_baselines::{hier, skeen, HierGroup, SkeenGroup};
 use flexcast_core::{FlexCastGroup, Output as FlexOutput};
+use flexcast_gtpcc::Generator;
 use flexcast_overlay::{CDagOrder, Tree};
 use flexcast_sim::{Actor, Ctx, SimTime};
 use flexcast_types::{ClientId, GroupId, Message, MsgId};
-use flexcast_gtpcc::Generator;
 
 /// Maps a client id to its simulator process id (clients sit after the
 /// `n_servers` server processes).
@@ -45,6 +45,10 @@ impl ServerStats {
 }
 
 /// Which protocol a server runs, with the per-protocol engine state.
+// One value per simulated node; the size spread between engines is
+// irrelevant at that cardinality and boxing would cost an indirection on
+// the hot path.
+#[allow(clippy::large_enum_variant)]
 enum EngineKind {
     Flex {
         engine: FlexCastGroup,
@@ -339,8 +343,8 @@ impl ClientActor {
         let txn = self.generator.next_txn(self.home);
         let id = MsgId::new(self.client_id, self.seq);
         self.seq += 1;
-        let m = Message::new(id, txn.warehouses, txn.payload())
-            .expect("transactions have warehouses");
+        let m =
+            Message::new(id, txn.warehouses, txn.payload()).expect("transactions have warehouses");
         self.issued.push((id, m.dst));
         self.outstanding = Some(Outstanding {
             id,
@@ -457,6 +461,8 @@ impl FlushActor {
 }
 
 /// The simulator actor: a server, a client, or the flusher.
+// One value per simulated node, as with `EngineKind` above.
+#[allow(clippy::large_enum_variant)]
 pub enum Node {
     /// A protocol server.
     Server(ServerActor),

@@ -68,10 +68,7 @@ impl CheckReport {
 /// * `registry` — every multicast message and its destination set
 ///   (node space), collected from the issuing clients.
 /// * `trace` — per-node delivery logs, each in delivery order.
-pub fn check(
-    registry: &BTreeMap<MsgId, DestSet>,
-    trace: &[Vec<DeliveryEvent>],
-) -> CheckReport {
+pub fn check(registry: &BTreeMap<MsgId, DestSet>, trace: &[Vec<DeliveryEvent>]) -> CheckReport {
     let mut report = CheckReport {
         acyclic: true,
         multicast: registry.len(),
@@ -103,9 +100,7 @@ pub fn check(
     // Validity + Agreement (quiescent run): delivered at every destination.
     for (&id, &dst) in registry {
         let got = delivered_at.get(&id);
-        let complete = dst
-            .iter()
-            .all(|g| got.is_some_and(|s| s.contains(&g)));
+        let complete = dst.iter().all(|g| got.is_some_and(|s| s.contains(&g)));
         if !complete {
             report.validity_violations.push(id);
         }
@@ -127,12 +122,9 @@ pub fn check(
             for w in shared.windows(2) {
                 let (x, y) = (w[0], w[1]);
                 if pb[&x] > pb[&y] {
-                    report.prefix_violations.push((
-                        GroupId(a as u16),
-                        GroupId(b as u16),
-                        x,
-                        y,
-                    ));
+                    report
+                        .prefix_violations
+                        .push((GroupId(a as u16), GroupId(b as u16), x, y));
                 }
             }
         }
@@ -278,10 +270,7 @@ mod tests {
     #[test]
     fn interleaved_but_consistent_orders_pass() {
         let reg = registry(&[(1, &[0, 1]), (2, &[0]), (3, &[0, 1])]);
-        let trace = vec![
-            vec![ev(0, 1), ev(0, 2), ev(0, 3)],
-            vec![ev(1, 1), ev(1, 3)],
-        ];
+        let trace = vec![vec![ev(0, 1), ev(0, 2), ev(0, 3)], vec![ev(1, 1), ev(1, 3)]];
         let r = check(&reg, &trace);
         assert!(r.all_ok(), "{r:?}");
     }

@@ -196,9 +196,7 @@ pub fn run_world_on(cfg: &ExperimentConfig, matrix: &LatencyMatrix) -> World<Net
     for node in 0..n_servers as u16 {
         let node = GroupId(node);
         let server = match &cfg.protocol {
-            ProtocolKind::FlexCast(order) => {
-                ServerActor::flexcast(node, n_servers, order.clone())
-            }
+            ProtocolKind::FlexCast(order) => ServerActor::flexcast(node, n_servers, order.clone()),
             ProtocolKind::Hierarchical(tree) => ServerActor::hier(node, n_servers, tree.clone()),
             ProtocolKind::Distributed => ServerActor::skeen(node, n_servers),
         };
@@ -346,7 +344,11 @@ mod tests {
     fn flexcast_o1_runs_clean() {
         let mut r = run(&small(ProtocolKind::FlexCast(presets::o1())));
         r.check.assert_ok();
-        assert!(r.completed > 20, "closed loop made progress: {}", r.completed);
+        assert!(
+            r.completed > 20,
+            "closed loop made progress: {}",
+            r.completed
+        );
         assert!(r.percentile_row(1).is_some());
         // Genuine: zero payload overhead at every node.
         for (i, n) in r.per_node.iter().enumerate() {

@@ -11,7 +11,10 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// Writes one frame: a little-endian `u32` length followed by the body.
 pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<()> {
     if body.len() > MAX_FRAME {
-        return Err(Error::Encode(format!("frame of {} bytes too large", body.len())));
+        return Err(Error::Encode(format!(
+            "frame of {} bytes too large",
+            body.len()
+        )));
     }
     let mut header = BytesMut::with_capacity(4);
     header.put_u32_le(body.len() as u32);

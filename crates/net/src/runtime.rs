@@ -90,7 +90,9 @@ impl NodeRuntime {
     pub fn connect(&mut self, peer: GroupId, addr: SocketAddr) -> Result<()> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        let hello = flexcast_wire::to_bytes(&Hello { from: self.id.rank() })?;
+        let hello = flexcast_wire::to_bytes(&Hello {
+            from: self.id.rank(),
+        })?;
         write_frame(&mut stream, &hello)?;
 
         let (tx, rx) = unbounded::<Vec<u8>>();

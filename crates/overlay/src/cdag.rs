@@ -153,10 +153,7 @@ mod tests {
     #[test]
     fn chain_from_end_walks_the_line() {
         let o = CDagOrder::nearest_neighbor_chain(&line4(), GroupId(0));
-        assert_eq!(
-            o.order(),
-            &[GroupId(0), GroupId(1), GroupId(2), GroupId(3)]
-        );
+        assert_eq!(o.order(), &[GroupId(0), GroupId(1), GroupId(2), GroupId(3)]);
     }
 
     #[test]
@@ -164,10 +161,7 @@ mod tests {
         let o = CDagOrder::nearest_neighbor_chain(&line4(), GroupId(1));
         // From 1 the closest is 0 or 2 (tie → node id 0), then from 0 the
         // closest unranked is 2, then 3.
-        assert_eq!(
-            o.order(),
-            &[GroupId(1), GroupId(0), GroupId(2), GroupId(3)]
-        );
+        assert_eq!(o.order(), &[GroupId(1), GroupId(0), GroupId(2), GroupId(3)]);
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl LatencyMatrix {
             }
             for (k, &v) in row.iter().enumerate() {
                 if !v.is_finite() || v < 0.0 {
-                    return Err(Error::Config(format!("invalid RTT {v} at ({i},{})", i + 1 + k)));
+                    return Err(Error::Config(format!(
+                        "invalid RTT {v} at ({i},{})",
+                        i + 1 + k
+                    )));
                 }
                 let j = i + 1 + k;
                 m.set_rtt(i, j, v);
@@ -84,7 +87,10 @@ impl LatencyMatrix {
 
     /// Round-trip time between two nodes in milliseconds.
     pub fn rtt(&self, a: GroupId, b: GroupId) -> f64 {
-        assert!(a.index() < self.n && b.index() < self.n, "node out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "node out of range"
+        );
         self.rtt_ms[a.index() * self.n + b.index()]
     }
 

@@ -86,16 +86,16 @@ pub fn t2() -> Tree {
         12,
         7, // root: paper group 8 → node 7
         &[
-            (4, 7), // 5 under 8
-            (6, 7), // 7 under 8
-            (0, 4), // 1 under 5
-            (2, 4), // 3 under 5
-            (1, 0), // 2 under 1
-            (3, 2), // 4 under 3
-            (5, 6), // 6 under 7
-            (8, 6), // 9 under 7
-            (9, 8),  // 10 under 9
-            (10, 8), // 11 under 9
+            (4, 7),   // 5 under 8
+            (6, 7),   // 7 under 8
+            (0, 4),   // 1 under 5
+            (2, 4),   // 3 under 5
+            (1, 0),   // 2 under 1
+            (3, 2),   // 4 under 3
+            (5, 6),   // 6 under 7
+            (8, 6),   // 9 under 7
+            (9, 8),   // 10 under 9
+            (10, 8),  // 11 under 9
             (11, 10), // 12 under 11
         ],
     ))

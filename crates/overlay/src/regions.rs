@@ -39,9 +39,13 @@ pub fn aws12() -> LatencyMatrix {
     // Strict upper triangle, row i = RTTs to nodes i+1..12.
     let rows: [&[f64]; 11] = [
         // us-east-1 → use2, usw1, usw2, sae1, euw1, euc1, euw2, aps1, apne1, apse1, apse2
-        &[12.0, 62.0, 68.0, 115.0, 67.0, 88.0, 75.0, 182.0, 145.0, 215.0, 198.0],
+        &[
+            12.0, 62.0, 68.0, 115.0, 67.0, 88.0, 75.0, 182.0, 145.0, 215.0, 198.0,
+        ],
         // us-east-2 → usw1, usw2, sae1, euw1, euc1, euw2, aps1, apne1, apse1, apse2
-        &[50.0, 49.0, 125.0, 75.0, 97.0, 85.0, 192.0, 135.0, 202.0, 190.0],
+        &[
+            50.0, 49.0, 125.0, 75.0, 97.0, 85.0, 192.0, 135.0, 202.0, 190.0,
+        ],
         // us-west-1 → usw2, sae1, euw1, euc1, euw2, aps1, apne1, apse1, apse2
         &[20.0, 175.0, 130.0, 148.0, 137.0, 230.0, 107.0, 170.0, 140.0],
         // us-west-2 → sae1, euw1, euc1, euw2, aps1, apne1, apse1, apse2

@@ -43,7 +43,9 @@ impl Tree {
                         )));
                     }
                     if p.index() == i {
-                        return Err(Error::InvalidOverlay(format!("node g{i} is its own parent")));
+                        return Err(Error::InvalidOverlay(format!(
+                            "node g{i} is its own parent"
+                        )));
                     }
                 }
             }
@@ -74,7 +76,7 @@ impl Tree {
                 queue.push_back(c);
             }
         }
-        if depth.iter().any(|&d| d == u16::MAX) {
+        if depth.contains(&u16::MAX) {
             return Err(Error::InvalidOverlay(
                 "tree is disconnected (cycle or unreachable node)".into(),
             ));
@@ -236,12 +238,7 @@ mod tests {
     ///                    / \    \
     ///                   3   4    5
     fn t() -> Tree {
-        Tree::from_parents(parents_of(
-            6,
-            0,
-            &[(1, 0), (2, 0), (3, 1), (4, 1), (5, 2)],
-        ))
-        .unwrap()
+        Tree::from_parents(parents_of(6, 0, &[(1, 0), (2, 0), (3, 1), (4, 1), (5, 2)])).unwrap()
     }
 
     fn ds(ranks: &[u16]) -> DestSet {
@@ -319,9 +316,7 @@ mod tests {
         // Self-parent.
         assert!(Tree::from_parents(vec![None, Some(GroupId(1))]).is_err());
         // Cycle off the root: 1→2→1 with root 0.
-        assert!(
-            Tree::from_parents(vec![None, Some(GroupId(2)), Some(GroupId(1))]).is_err()
-        );
+        assert!(Tree::from_parents(vec![None, Some(GroupId(2)), Some(GroupId(1))]).is_err());
         // Out-of-range parent.
         assert!(Tree::from_parents(vec![None, Some(GroupId(9))]).is_err());
         // Empty.

@@ -73,11 +73,7 @@ impl Summary {
     /// Population standard deviation.
     pub fn stddev(&self) -> Option<f64> {
         let mean = self.mean()?;
-        let var = self
-            .samples
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
             / self.samples.len() as f64;
         Some(var.sqrt())
     }
@@ -183,13 +179,7 @@ mod tests {
         let cdf = s.cdf_at(&[0.5, 1.0, 2.5, 4.0, 10.0]);
         assert_eq!(
             cdf,
-            vec![
-                (0.5, 0.0),
-                (1.0, 0.25),
-                (2.5, 0.5),
-                (4.0, 1.0),
-                (10.0, 1.0)
-            ]
+            vec![(0.5, 0.0), (1.0, 0.25), (2.5, 0.5), (4.0, 1.0), (10.0, 1.0)]
         );
     }
 

@@ -60,9 +60,18 @@ impl<M> Ctx<'_, M> {
 }
 
 enum Event<M> {
-    Deliver { from: ProcessId, to: ProcessId, msg: M },
-    Timer { pid: ProcessId, token: u64 },
-    Start { pid: ProcessId },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Timer {
+        pid: ProcessId,
+        token: u64,
+    },
+    Start {
+        pid: ProcessId,
+    },
 }
 
 /// A deterministic discrete-event world hosting actors of type `A`.

@@ -50,12 +50,7 @@ pub enum GroupEffect<I> {
 impl<E, I: Clone + PartialEq> ReplicatedGroup<E, I> {
     /// Creates replica `id` of `n` for `engine`, with `apply` defining how
     /// a committed command mutates the engine and what effects it emits.
-    pub fn new(
-        id: u32,
-        n: u32,
-        engine: E,
-        apply: fn(&mut E, I, &mut Vec<GroupEffect<I>>),
-    ) -> Self {
+    pub fn new(id: u32, n: u32, engine: E, apply: fn(&mut E, I, &mut Vec<GroupEffect<I>>)) -> Self {
         ReplicatedGroup {
             replica: Replica::new(id, n),
             engine,
@@ -137,7 +132,11 @@ mod tests {
         out.push(GroupEffect::Engine(engine.total));
     }
 
-    fn route(groups: &mut [ReplicatedGroup<Counter, u32>], from: u32, effects: Vec<GroupEffect<u32>>) -> Vec<u32> {
+    fn route(
+        groups: &mut [ReplicatedGroup<Counter, u32>],
+        from: u32,
+        effects: Vec<GroupEffect<u32>>,
+    ) -> Vec<u32> {
         let mut emitted = Vec::new();
         for e in effects {
             match e {

@@ -189,11 +189,7 @@ impl<C: Clone + PartialEq> Replica<C> {
         self.role = Role::Candidate {
             promises: BTreeSet::from([self.id]),
         };
-        self.election_values = self
-            .accepted
-            .iter()
-            .map(|(&s, v)| (s, v.clone()))
-            .collect();
+        self.election_values = self.accepted.iter().map(|(&s, v)| (s, v.clone())).collect();
         for p in self.peers().collect::<Vec<_>>() {
             out.push(SmrOutput::Send {
                 to: p,
@@ -281,7 +277,11 @@ impl<C: Clone + PartialEq> Replica<C> {
         if votes.len() < self.quorum() {
             return;
         }
-        let (_, cmd) = self.accepted.get(&slot).expect("leader accepted first").clone();
+        let (_, cmd) = self
+            .accepted
+            .get(&slot)
+            .expect("leader accepted first")
+            .clone();
         self.committed.insert(slot, cmd.clone());
         self.tally.remove(&slot);
         out.push(SmrOutput::Committed {
@@ -572,9 +572,13 @@ mod tests {
         let mut out2 = Vec::new();
         r.on_message(1, promise, &mut out2);
         assert!(r.is_leader());
-        assert!(out2
-            .iter()
-            .any(|o| matches!(o, SmrOutput::Send { msg: PaxosMsg::Accept { cmd: 5, .. }, .. })));
+        assert!(out2.iter().any(|o| matches!(
+            o,
+            SmrOutput::Send {
+                msg: PaxosMsg::Accept { cmd: 5, .. },
+                ..
+            }
+        )));
     }
 
     #[test]

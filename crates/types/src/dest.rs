@@ -344,7 +344,12 @@ mod tests {
         assert_eq!(s.above(GroupId(5)), ds(&[7]));
         assert_eq!(s.below(GroupId(0)), DestSet::EMPTY);
         assert_eq!(s.above(GroupId(127)), DestSet::EMPTY);
-        assert_eq!(s.below(GroupId(127)), s.difference(ds(&[])).difference(DestSet::EMPTY).below(GroupId(127)));
+        assert_eq!(
+            s.below(GroupId(127)),
+            s.difference(ds(&[]))
+                .difference(DestSet::EMPTY)
+                .below(GroupId(127))
+        );
     }
 
     #[test]

@@ -21,9 +21,7 @@ impl std::fmt::Display for ClientId {
 /// sequence number, so `(sender, seq)` never collides across the system.
 /// Ordering on `MsgId` is lexicographic and used only for deterministic
 /// tie-breaking in data structures, never for delivery order.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct MsgId {
     /// The issuing client.
     pub sender: ClientId,

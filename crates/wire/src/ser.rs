@@ -48,7 +48,7 @@ macro_rules! ser_sint {
     };
 }
 
-impl<'a> ser::Serializer for &'a mut Serializer {
+impl ser::Serializer for &mut Serializer {
     type Ok = ();
     type Error = WireError;
     type SerializeSeq = Self;
@@ -214,7 +214,7 @@ ser_compound!(ser::SerializeTuple, serialize_element);
 ser_compound!(ser::SerializeTupleStruct, serialize_field);
 ser_compound!(ser::SerializeTupleVariant, serialize_field);
 
-impl<'a> ser::SerializeMap for &'a mut Serializer {
+impl ser::SerializeMap for &mut Serializer {
     type Ok = ();
     type Error = WireError;
     fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), WireError> {
@@ -228,7 +228,7 @@ impl<'a> ser::SerializeMap for &'a mut Serializer {
     }
 }
 
-impl<'a> ser::SerializeStruct for &'a mut Serializer {
+impl ser::SerializeStruct for &mut Serializer {
     type Ok = ();
     type Error = WireError;
     fn serialize_field<T: Serialize + ?Sized>(
@@ -243,7 +243,7 @@ impl<'a> ser::SerializeStruct for &'a mut Serializer {
     }
 }
 
-impl<'a> ser::SerializeStructVariant for &'a mut Serializer {
+impl ser::SerializeStructVariant for &mut Serializer {
     type Ok = ();
     type Error = WireError;
     fn serialize_field<T: Serialize + ?Sized>(
@@ -288,7 +288,7 @@ macro_rules! size_sint {
     };
 }
 
-impl<'a> ser::Serializer for &'a mut SizeSerializer {
+impl ser::Serializer for &mut SizeSerializer {
     type Ok = ();
     type Error = WireError;
     type SerializeSeq = Self;
@@ -454,7 +454,7 @@ size_compound!(ser::SerializeTuple, serialize_element);
 size_compound!(ser::SerializeTupleStruct, serialize_field);
 size_compound!(ser::SerializeTupleVariant, serialize_field);
 
-impl<'a> ser::SerializeMap for &'a mut SizeSerializer {
+impl ser::SerializeMap for &mut SizeSerializer {
     type Ok = ();
     type Error = WireError;
     fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), WireError> {
@@ -468,7 +468,7 @@ impl<'a> ser::SerializeMap for &'a mut SizeSerializer {
     }
 }
 
-impl<'a> ser::SerializeStruct for &'a mut SizeSerializer {
+impl ser::SerializeStruct for &mut SizeSerializer {
     type Ok = ();
     type Error = WireError;
     fn serialize_field<T: Serialize + ?Sized>(
@@ -483,7 +483,7 @@ impl<'a> ser::SerializeStruct for &'a mut SizeSerializer {
     }
 }
 
-impl<'a> ser::SerializeStructVariant for &'a mut SizeSerializer {
+impl ser::SerializeStructVariant for &mut SizeSerializer {
     type Ok = ();
     type Error = WireError;
     fn serialize_field<T: Serialize + ?Sized>(

@@ -106,7 +106,16 @@ mod tests {
         assert_eq!(zigzag(-1), 1);
         assert_eq!(zigzag(1), 2);
         assert_eq!(zigzag(-2), 3);
-        for v in [-1000i128, -1, 0, 1, 7, i64::MAX as i128, i128::MIN, i128::MAX] {
+        for v in [
+            -1000i128,
+            -1,
+            0,
+            1,
+            7,
+            i64::MAX as i128,
+            i128::MIN,
+            i128::MAX,
+        ] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
     }

@@ -49,8 +49,7 @@ fn settle(
     effects: Vec<GroupEffect<Cmd>>,
 ) -> Vec<Cmd> {
     let mut emitted = Vec::new();
-    let mut queue: Vec<(u32, GroupEffect<Cmd>)> =
-        effects.into_iter().map(|e| (from, e)).collect();
+    let mut queue: Vec<(u32, GroupEffect<Cmd>)> = effects.into_iter().map(|e| (from, e)).collect();
     while let Some((src, effect)) = queue.pop() {
         match effect {
             GroupEffect::Engine(cmd) => emitted.push(cmd),

@@ -41,7 +41,10 @@ fn p90(result: &mut ExperimentResult, rank: usize) -> f64 {
 #[test]
 fn flexcast_wins_first_destination_at_every_locality() {
     for locality in [0.90, 0.95, 0.99] {
-        let mut flex = run(&latency_cfg(ProtocolKind::FlexCast(presets::o1()), locality));
+        let mut flex = run(&latency_cfg(
+            ProtocolKind::FlexCast(presets::o1()),
+            locality,
+        ));
         let mut hier = run(&latency_cfg(
             ProtocolKind::Hierarchical(presets::t1()),
             locality,
@@ -60,7 +63,10 @@ fn flexcast_wins_first_destination_at_every_locality() {
         // a strict win at every locality (see EXPERIMENTS.md), while this
         // shortened run only guarantees it at ≥95 % locality.
         if locality >= 0.95 {
-            assert!(f < d, "locality {locality}: FlexCast {f:.1} vs Skeen {d:.1}");
+            assert!(
+                f < d,
+                "locality {locality}: FlexCast {f:.1} vs Skeen {d:.1}"
+            );
         } else {
             assert!(
                 f < d * 1.15,
@@ -115,7 +121,10 @@ fn overhead_splits_by_genuineness() {
     }
     assert!(inner_overhead > 0.05, "inner nodes relay: {inner_overhead}");
 
-    for protocol in [ProtocolKind::FlexCast(presets::o1()), ProtocolKind::Distributed] {
+    for protocol in [
+        ProtocolKind::FlexCast(presets::o1()),
+        ProtocolKind::Distributed,
+    ] {
         let mut cfg = latency_cfg(protocol, 0.90);
         cfg.mode = WorkloadMode::Full;
         let r = run(&cfg);

@@ -37,9 +37,10 @@ type Cluster = Vec<Option<ReplicatedGroup<FlexCastGroup, Cmd>>>;
 fn settle(cluster: &mut Cluster, from: u32, effects: Vec<GroupEffect<Cmd>>) -> Vec<Fx> {
     let mut emitted = Vec::new();
     let mut queue: Vec<(u32, u32, PaxosMsg<Cmd>)> = Vec::new();
-    let absorb = |src: u32, fx: Vec<GroupEffect<Cmd>>,
-                      queue: &mut Vec<(u32, u32, PaxosMsg<Cmd>)>,
-                      emitted: &mut Vec<Fx>| {
+    let absorb = |src: u32,
+                  fx: Vec<GroupEffect<Cmd>>,
+                  queue: &mut Vec<(u32, u32, PaxosMsg<Cmd>)>,
+                  emitted: &mut Vec<Fx>| {
         for e in fx {
             match e {
                 GroupEffect::Engine(Cmd::Client(m)) => emitted.push(Fx::Deliver(m.id)),
@@ -98,7 +99,10 @@ fn replicated_lca_forwards_exactly_once() {
     let fx = settle(&mut cluster, 0, out);
 
     // The leader emits the delivery and exactly one forward to group B.
-    let delivers = fx.iter().filter(|f| matches!(f, Fx::Deliver(id) if *id == m.id)).count();
+    let delivers = fx
+        .iter()
+        .filter(|f| matches!(f, Fx::Deliver(id) if *id == m.id))
+        .count();
     let sends = fx
         .iter()
         .filter(|f| matches!(f, Fx::Send(to, Packet::Msg { .. }) if *to == GroupId(1)))
@@ -168,7 +172,10 @@ fn leader_crash_and_reelection_preserve_engine_state() {
     let pkt_to_b = out_a
         .into_iter()
         .find_map(|o| match o {
-            Output::Send { to, pkt } if to == GroupId(1) => Some(pkt),
+            Output::Send {
+                to: GroupId(1),
+                pkt,
+            } => Some(pkt),
             _ => None,
         })
         .expect("msg to B");
@@ -179,7 +186,10 @@ fn leader_crash_and_reelection_preserve_engine_state() {
         .unwrap()
         .submit(Cmd::Peer(GroupId(0), pkt_to_b), &mut out);
     let fx = settle(&mut cluster, 1, out);
-    assert!(fx.contains(&Fx::Deliver(m2.id)), "m2 delivered after failover");
+    assert!(
+        fx.contains(&Fx::Deliver(m2.id)),
+        "m2 delivered after failover"
+    );
 
     // Both survivors hold identical engine state: m1 then m2.
     for r in cluster.iter().flatten() {

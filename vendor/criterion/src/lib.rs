@@ -1,0 +1,208 @@
+//! Offline, API-compatible subset of [criterion](https://docs.rs/criterion).
+//!
+//! A small wall-clock benchmark harness: each `Bencher::iter` call runs a
+//! short warmup, then samples the closure until the configured
+//! measurement time (default 500ms, clamped for CI friendliness) and
+//! reports mean time per iteration. No statistics, plots, or comparisons
+//! — just honest timings so `cargo bench` works air-gapped.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` for API compatibility.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; the stub has no arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.measurement_time, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Caps how long each benchmark in the group measures.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        // Clamp so paper-scale measurement budgets stay CI-friendly.
+        self.measurement_time = t.min(Duration::from_secs(3));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.measurement_time);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            repr: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Passed to benchmark closures; `iter` does the timing.
+pub struct Bencher {
+    measurement_time: Duration,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(measurement_time: Duration) -> Self {
+        Bencher {
+            measurement_time,
+            result: None,
+        }
+    }
+
+    /// Times `f`, storing iterations and total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and per-iteration cost estimate.
+        let warmup_start = Instant::now();
+        black_box(f());
+        let once = warmup_start.elapsed();
+
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            black_box(f());
+            iters += 1;
+            // Very slow bodies: one measured iteration is enough.
+            if once > budget && iters > 0 {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.result = Some((iters.max(1), elapsed));
+    }
+
+    fn report(&self, id: &str) {
+        match self.result {
+            Some((iters, total)) => {
+                let per = total.as_secs_f64() / iters as f64;
+                println!(
+                    "bench: {id:<50} {:>12.3} µs/iter ({iters} iters)",
+                    per * 1e6
+                );
+            }
+            None => println!("bench: {id:<50} (no measurement)"),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, measurement_time: Duration, f: &mut F) {
+    let mut bencher = Bencher::new(measurement_time);
+    f(&mut bencher);
+    bencher.report(id);
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,93 @@
+//! Offline, API-compatible subset of [crossbeam](https://docs.rs/crossbeam).
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`.
+//! `Sender` is `Clone` (mpsc supports multi-producer natively); `Receiver`
+//! keeps mpsc's single-consumer restriction, which is all the workspace
+//! needs (each runtime funnels into one consumer).
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing if the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            self.0.recv().map_err(|_| RecvTimeoutError::Disconnected)
+        }
+
+        /// Blocks until a message arrives, the timeout expires, or all
+        /// senders disconnect.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Returns an iterator over already-queued messages (non-blocking).
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.0.try_iter()
+        }
+
+        /// Returns a blocking iterator that ends when senders disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_clone() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(1));
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2]);
+        }
+    }
+}

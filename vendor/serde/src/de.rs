@@ -1,0 +1,545 @@
+//! Deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Trait implemented by deserializer error types.
+pub trait Error: Sized + std::error::Error {
+    /// Builds a custom error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be deserialized from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// A stateful form of `Deserialize`, used by collection visitors.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The value produced.
+    type Value;
+    /// Deserializes the value using `self`'s state.
+    fn deserialize<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D>(self, deserializer: D) -> Result<T, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data format that can deserialize any serde data structure.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Hints that the format should decide the type (self-describing only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i128`.
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u128`.
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a variable-length sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a fixed-length tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct field name or enum variant name.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skips over a value of any type.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Whether the format is human readable.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+fn unexpected<V, E: Error>(what: &str) -> Result<V, E> {
+    Err(E::custom(format!("unexpected {what}")))
+}
+
+/// Walks the values produced by a `Deserializer`, building `Self::Value`.
+///
+/// Every `visit_*` method has a default that either forwards to the wider
+/// integer/float/string form (mirroring upstream serde's forwarding rules)
+/// or reports a type mismatch.
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Formats a message stating what the visitor expects.
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+
+    /// Visits a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        let _ = v;
+        unexpected("bool")
+    }
+    /// Visits an `i8` (forwards to `visit_i64`).
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits an `i16` (forwards to `visit_i64`).
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits an `i32` (forwards to `visit_i64`).
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits an `i64`.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        let _ = v;
+        unexpected("i64")
+    }
+    /// Visits an `i128`.
+    fn visit_i128<E: Error>(self, v: i128) -> Result<Self::Value, E> {
+        let _ = v;
+        unexpected("i128")
+    }
+    /// Visits a `u8` (forwards to `visit_u64`).
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits a `u16` (forwards to `visit_u64`).
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits a `u32` (forwards to `visit_u64`).
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits a `u64`.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        let _ = v;
+        unexpected("u64")
+    }
+    /// Visits a `u128`.
+    fn visit_u128<E: Error>(self, v: u128) -> Result<Self::Value, E> {
+        let _ = v;
+        unexpected("u128")
+    }
+    /// Visits an `f32` (forwards to `visit_f64`).
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+    /// Visits an `f64`.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        let _ = v;
+        unexpected("f64")
+    }
+    /// Visits a `char`.
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        let _ = v;
+        unexpected("char")
+    }
+    /// Visits a transient string slice.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        unexpected("str")
+    }
+    /// Visits a string borrowed from the input (forwards to `visit_str`).
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Visits an owned string (forwards to `visit_str`).
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Visits transient bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        unexpected("bytes")
+    }
+    /// Visits bytes borrowed from the input (forwards to `visit_bytes`).
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Visits an owned byte buffer (forwards to `visit_bytes`).
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Visits an absent `Option`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        unexpected("none")
+    }
+    /// Visits a present `Option`.
+    fn visit_some<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let _ = deserializer;
+        unexpected("some")
+    }
+    /// Visits `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        unexpected("unit")
+    }
+    /// Visits a newtype struct's contents.
+    fn visit_newtype_struct<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let _ = deserializer;
+        unexpected("newtype struct")
+    }
+    /// Visits a sequence.
+    fn visit_seq<A>(self, seq: A) -> Result<Self::Value, A::Error>
+    where
+        A: SeqAccess<'de>,
+    {
+        let _ = seq;
+        unexpected("sequence")
+    }
+    /// Visits a map.
+    fn visit_map<A>(self, map: A) -> Result<Self::Value, A::Error>
+    where
+        A: MapAccess<'de>,
+    {
+        let _ = map;
+        unexpected("map")
+    }
+    /// Visits an enum.
+    fn visit_enum<A>(self, data: A) -> Result<Self::Value, A::Error>
+    where
+        A: EnumAccess<'de>,
+    {
+        let _ = data;
+        unexpected("enum")
+    }
+}
+
+/// Provides a visitor access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+    /// Deserializes the next element using a seed.
+    fn next_element_seed<T>(&mut self, seed: T) -> Result<Option<T::Value>, Self::Error>
+    where
+        T: DeserializeSeed<'de>;
+    /// Deserializes the next element.
+    fn next_element<T>(&mut self) -> Result<Option<T>, Self::Error>
+    where
+        T: Deserialize<'de>,
+    {
+        self.next_element_seed(PhantomData)
+    }
+    /// Remaining element count, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Provides a visitor access to the entries of a map.
+pub trait MapAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+    /// Deserializes the next key using a seed.
+    fn next_key_seed<K>(&mut self, seed: K) -> Result<Option<K::Value>, Self::Error>
+    where
+        K: DeserializeSeed<'de>;
+    /// Deserializes the next value using a seed.
+    fn next_value_seed<V>(&mut self, seed: V) -> Result<V::Value, Self::Error>
+    where
+        V: DeserializeSeed<'de>;
+    /// Deserializes the next key.
+    fn next_key<K>(&mut self) -> Result<Option<K>, Self::Error>
+    where
+        K: Deserialize<'de>,
+    {
+        self.next_key_seed(PhantomData)
+    }
+    /// Deserializes the next value.
+    fn next_value<V>(&mut self) -> Result<V, Self::Error>
+    where
+        V: Deserialize<'de>,
+    {
+        self.next_value_seed(PhantomData)
+    }
+    /// Deserializes the next entry.
+    fn next_entry<K, V>(&mut self) -> Result<Option<(K, V)>, Self::Error>
+    where
+        K: Deserialize<'de>,
+        V: Deserialize<'de>,
+    {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+    /// Remaining entry count, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Provides a visitor access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+    /// Access to the variant's contents.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    /// Deserializes the variant tag using a seed.
+    fn variant_seed<V>(self, seed: V) -> Result<(V::Value, Self::Variant), Self::Error>
+    where
+        V: DeserializeSeed<'de>;
+    /// Deserializes the variant tag.
+    fn variant<V>(self) -> Result<(V, Self::Variant), Self::Error>
+    where
+        V: Deserialize<'de>,
+    {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Provides access to the contents of a single enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+    /// Finishes a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    /// Deserializes a newtype variant's payload using a seed.
+    fn newtype_variant_seed<T>(self, seed: T) -> Result<T::Value, Self::Error>
+    where
+        T: DeserializeSeed<'de>;
+    /// Deserializes a newtype variant's payload.
+    fn newtype_variant<T>(self) -> Result<T, Self::Error>
+    where
+        T: Deserialize<'de>,
+    {
+        self.newtype_variant_seed(PhantomData)
+    }
+    /// Deserializes a tuple variant's payload.
+    fn tuple_variant<V>(self, len: usize, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a struct variant's payload.
+    fn struct_variant<V>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+}
+
+/// Converts a value into a `Deserializer` yielding that value.
+pub trait IntoDeserializer<'de, E: Error = value::Error> {
+    /// The deserializer produced.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Performs the conversion.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// Self-deserializing primitive wrappers and a plain string error type.
+pub mod value {
+    use super::{Deserializer, IntoDeserializer, Visitor};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// A plain string deserialization error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+    impl std::error::Error for Error {}
+    impl super::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+    impl crate::ser::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    macro_rules! primitive_deserializer {
+        ($ty:ty, $name:ident, $visit:ident) => {
+            /// A deserializer holding one primitive value.
+            pub struct $name<E> {
+                value: $ty,
+                marker: PhantomData<E>,
+            }
+
+            impl<'de, E: super::Error> IntoDeserializer<'de, E> for $ty {
+                type Deserializer = $name<E>;
+                fn into_deserializer(self) -> $name<E> {
+                    $name {
+                        value: self,
+                        marker: PhantomData,
+                    }
+                }
+            }
+
+            impl<'de, E: super::Error> Deserializer<'de> for $name<E> {
+                type Error = E;
+
+                fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    visitor.$visit(self.value)
+                }
+
+                forward_to_any! {
+                    deserialize_bool deserialize_i8 deserialize_i16 deserialize_i32
+                    deserialize_i64 deserialize_i128 deserialize_u8 deserialize_u16
+                    deserialize_u32 deserialize_u64 deserialize_u128 deserialize_f32
+                    deserialize_f64 deserialize_char deserialize_str deserialize_string
+                    deserialize_bytes deserialize_byte_buf deserialize_option
+                    deserialize_unit deserialize_seq deserialize_map
+                    deserialize_identifier deserialize_ignored_any
+                }
+
+                fn deserialize_unit_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_newtype_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_tuple<V: Visitor<'de>>(
+                    self,
+                    _len: usize,
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_tuple_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _len: usize,
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _fields: &'static [&'static str],
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_enum<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _variants: &'static [&'static str],
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+            }
+        };
+    }
+
+    macro_rules! forward_to_any {
+        ($($method:ident)*) => {
+            $(
+                fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+            )*
+        };
+    }
+    primitive_deserializer!(u8, U8Deserializer, visit_u8);
+    primitive_deserializer!(u16, U16Deserializer, visit_u16);
+    primitive_deserializer!(u32, U32Deserializer, visit_u32);
+    primitive_deserializer!(u64, U64Deserializer, visit_u64);
+}

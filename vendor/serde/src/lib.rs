@@ -1,0 +1,20 @@
+//! Offline, API-compatible subset of [serde](https://serde.rs).
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the slice of serde's data model that the
+//! FlexCast crates actually exercise: the `Serialize`/`Deserialize`
+//! traits, the `Serializer`/`Deserializer` traits with all compound
+//! access types, visitor plumbing, `IntoDeserializer`, and derive macros
+//! for plain structs and enums (no `#[serde(...)]` attributes).
+//!
+//! The subset is faithful: the trait signatures match upstream serde, so
+//! swapping in the real crate later is a manifest-only change.
+
+pub mod de;
+mod impls;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,684 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! The build environment has no crates.io access, so these derives are
+//! written against the bare `proc_macro` API (no `syn`/`quote`). They
+//! support what the FlexCast crates use: plain structs (unit, tuple,
+//! named) and enums (unit, newtype, tuple, struct variants), with at most
+//! simple type parameters and no `#[serde(...)]` attributes. Generated
+//! code follows upstream serde's externally-indexed data model: structs
+//! as field sequences, enum variants by declaration index.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed shape of the derive input.
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Unnamed(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Type parameter identifiers, in declaration order.
+    generics: Vec<String>,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Token cursor.
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.at_punct(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_any_ident(&mut self, what: &str) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skips `#[...]` outer attributes (doc comments included).
+    fn skip_attrs(&mut self) {
+        while self.at_punct('#') {
+            self.pos += 1; // '#'
+            match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(...)`.
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a comma at angle-bracket depth zero, or the end.
+    /// Returns whether a comma was consumed.
+    fn skip_to_top_level_comma(&mut self) -> bool {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        self.pos += 1;
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut c = Cursor::new(stream);
+    c.skip_attrs();
+    c.skip_vis();
+
+    let kind = c.expect_any_ident("`struct` or `enum`");
+    let name = c.expect_any_ident("type name");
+    let generics = parse_generics(&mut c);
+
+    if c.at_ident("where") {
+        panic!("serde_derive: `where` clauses are not supported by the vendored derive");
+    }
+
+    let data = match kind.as_str() {
+        "struct" => Data::Struct(parse_struct_body(&mut c)),
+        "enum" => Data::Enum(parse_enum_body(&mut c)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        generics,
+        data,
+    }
+}
+
+fn parse_generics(c: &mut Cursor) -> Vec<String> {
+    let mut params = Vec::new();
+    if !c.eat_punct('<') {
+        return params;
+    }
+    let mut depth = 1i32;
+    let mut param_tokens: Vec<TokenTree> = Vec::new();
+    let mut segments: Vec<Vec<TokenTree>> = Vec::new();
+    while let Some(t) = c.bump() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    segments.push(std::mem::take(&mut param_tokens));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        param_tokens.push(t);
+    }
+    if !param_tokens.is_empty() {
+        segments.push(param_tokens);
+    }
+    for seg in segments {
+        let mut iter = seg.iter();
+        match iter.next() {
+            // Lifetimes start with a `'` punct; skip them.
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => continue,
+            Some(TokenTree::Ident(i)) if i.to_string() == "const" => {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    params.push(n.to_string());
+                }
+            }
+            Some(TokenTree::Ident(i)) => params.push(i.to_string()),
+            other => panic!("serde_derive: unsupported generic parameter, found {other:?}"),
+        }
+    }
+    params
+}
+
+fn parse_struct_body(c: &mut Cursor) -> Fields {
+    match c.bump() {
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Unnamed(count_unnamed_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        other => panic!("serde_derive: unsupported struct body, found {other:?}"),
+    }
+}
+
+fn count_unnamed_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0usize;
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !c.skip_to_top_level_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_any_ident("field name");
+        if !c.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        fields.push(name);
+        if !c.skip_to_top_level_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn parse_enum_body(c: &mut Cursor) -> Vec<Variant> {
+    let group = match c.bump() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde_derive: expected enum body, found {other:?}"),
+    };
+    let mut c = Cursor::new(group.stream());
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_any_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Unnamed(count_unnamed_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional explicit discriminant and the trailing comma.
+        if !c.skip_to_top_level_comma() {
+            break;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation helpers.
+// ---------------------------------------------------------------------------
+
+/// `<A, B>` or the empty string.
+fn type_args(generics: &[String]) -> String {
+    if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    }
+}
+
+/// Bounded impl-parameter list: each parameter bounded by `bound`.
+fn bounded_params(generics: &[String], bound: &str) -> String {
+    generics
+        .iter()
+        .map(|g| format!("{g}: {bound}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Declares a visitor tuple struct carrying the type parameters.
+fn visitor_decl(visitor: &str, generics: &[String]) -> String {
+    let phantom_ty = if generics.is_empty() {
+        "()".to_string()
+    } else {
+        format!("({},)", generics.join(", "))
+    };
+    format!(
+        "struct {visitor}{}(core::marker::PhantomData<fn() -> {phantom_ty}>);",
+        type_args(generics)
+    )
+}
+
+/// A `visit_seq` body that pulls `n` fields and builds `construct`.
+///
+/// `construct` receives field bindings named `__field0..`.
+fn visit_seq_fn(n: usize, construct: &str) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> core::result::Result<Self::Value, __A::Error> {\n",
+    );
+    for i in 0..n {
+        out.push_str(&format!(
+            "let __field{i} = match serde::de::SeqAccess::next_element(&mut __seq)? {{ \
+             core::option::Option::Some(__v) => __v, \
+             core::option::Option::None => return core::result::Result::Err(\
+             serde::de::Error::custom(\"sequence ended before field {i}\")) }};\n"
+        ));
+    }
+    out.push_str(&format!("core::result::Result::Ok({construct})\n}}\n"));
+    out
+}
+
+fn field_list(n: usize) -> String {
+    (0..n)
+        .map(|i| format!("__field{i}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn named_construct(path: &str, names: &[String]) -> String {
+    let inits = names
+        .iter()
+        .enumerate()
+        .map(|(i, f)| format!("{f}: __field{i}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{path} {{ {inits} }}")
+}
+
+fn str_array(items: &[String]) -> String {
+    let quoted = items
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("&[{quoted}]")
+}
+
+// ---------------------------------------------------------------------------
+// Serialize derive.
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let args = type_args(&input.generics);
+    let params = bounded_params(&input.generics, "serde::ser::Serialize");
+    let impl_header = if params.is_empty() {
+        format!("impl serde::ser::Serialize for {name}")
+    } else {
+        format!("impl<{params}> serde::ser::Serialize for {name}{args}")
+    };
+
+    let body = match &input.data {
+        Data::Struct(fields) => serialize_struct_body(name, fields),
+        Data::Enum(variants) => serialize_enum_body(name, variants),
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n{impl_header} {{\n\
+         fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S) \
+         -> core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+fn serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => {
+            format!("serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Fields::Unnamed(0) => {
+            format!("serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Fields::Unnamed(1) => format!(
+            "serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Fields::Unnamed(n) => {
+            let mut out = format!(
+                "let mut __state = serde::ser::Serializer::serialize_tuple_struct(\
+                 __serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("serde::ser::SerializeTupleStruct::end(__state)");
+            out
+        }
+        Fields::Named(names) => {
+            let n = names.len();
+            let mut out = format!(
+                "let mut __state = serde::ser::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for f in names {
+                out.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            out.push_str("serde::ser::SerializeStruct::end(__state)");
+            out
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit | Fields::Unnamed(0) => {
+                arms.push_str(&format!(
+                    "Self::{vname} => serde::ser::Serializer::serialize_unit_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                ));
+            }
+            Fields::Unnamed(1) => {
+                arms.push_str(&format!(
+                    "Self::{vname}(__field0) => serde::ser::Serializer::serialize_newtype_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\", __field0),\n"
+                ));
+            }
+            Fields::Unnamed(n) => {
+                let binds = field_list(*n);
+                let mut arm = format!(
+                    "Self::{vname}({binds}) => {{\n\
+                     let mut __state = serde::ser::Serializer::serialize_tuple_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n"
+                );
+                for i in 0..*n {
+                    arm.push_str(&format!(
+                        "serde::ser::SerializeTupleVariant::serialize_field(&mut __state, __field{i})?;\n"
+                    ));
+                }
+                arm.push_str("serde::ser::SerializeTupleVariant::end(__state)\n},\n");
+                arms.push_str(&arm);
+            }
+            Fields::Named(names) => {
+                let n = names.len();
+                let binds = names.join(", ");
+                let mut arm = format!(
+                    "Self::{vname} {{ {binds} }} => {{\n\
+                     let mut __state = serde::ser::Serializer::serialize_struct_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n"
+                );
+                for f in names {
+                    arm.push_str(&format!(
+                        "serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{f}\", {f})?;\n"
+                    ));
+                }
+                arm.push_str("serde::ser::SerializeStructVariant::end(__state)\n},\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize derive.
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let args = type_args(&input.generics);
+    let params = bounded_params(&input.generics, "serde::de::Deserialize<'de>");
+    let impl_header = if params.is_empty() {
+        format!("impl<'de> serde::de::Deserialize<'de> for {name}")
+    } else {
+        format!("impl<'de, {params}> serde::de::Deserialize<'de> for {name}{args}")
+    };
+    let visitor_impl_params = if params.is_empty() {
+        "'de".to_string()
+    } else {
+        format!("'de, {params}")
+    };
+
+    let body = match &input.data {
+        Data::Struct(fields) => {
+            deserialize_struct_body(name, &input.generics, &visitor_impl_params, fields)
+        }
+        Data::Enum(variants) => {
+            deserialize_enum_body(name, &input.generics, &visitor_impl_params, variants)
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n{impl_header} {{\n\
+         fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+fn expecting_fn(text: &str) -> String {
+    format!(
+        "fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+         __f.write_str(\"{text}\")\n}}\n"
+    )
+}
+
+fn deserialize_struct_body(
+    name: &str,
+    generics: &[String],
+    visitor_impl_params: &str,
+    fields: &Fields,
+) -> String {
+    let args = type_args(generics);
+    let decl = visitor_decl("__Visitor", generics);
+    let expecting = expecting_fn(&format!("struct {name}"));
+
+    let (visit_fns, drive) = match fields {
+        Fields::Unit | Fields::Unnamed(0) => (
+            format!(
+                "fn visit_unit<__E: serde::de::Error>(self) -> core::result::Result<Self::Value, __E> {{\n\
+                 core::result::Result::Ok({name})\n}}\n"
+            ),
+            format!(
+                "serde::de::Deserializer::deserialize_unit_struct(\
+                 __deserializer, \"{name}\", __Visitor(core::marker::PhantomData))"
+            ),
+        ),
+        Fields::Unnamed(1) => (
+            format!(
+                "fn visit_newtype_struct<__D2: serde::de::Deserializer<'de>>(self, __d: __D2) \
+                 -> core::result::Result<Self::Value, __D2::Error> {{\n\
+                 core::result::Result::Ok({name}(serde::de::Deserialize::deserialize(__d)?))\n}}\n{}",
+                visit_seq_fn(1, &format!("{name}(__field0)"))
+            ),
+            format!(
+                "serde::de::Deserializer::deserialize_newtype_struct(\
+                 __deserializer, \"{name}\", __Visitor(core::marker::PhantomData))"
+            ),
+        ),
+        Fields::Unnamed(n) => (
+            visit_seq_fn(*n, &format!("{name}({})", field_list(*n))),
+            format!(
+                "serde::de::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, \"{name}\", {n}usize, __Visitor(core::marker::PhantomData))"
+            ),
+        ),
+        Fields::Named(names) => (
+            visit_seq_fn(names.len(), &named_construct(name, names)),
+            format!(
+                "serde::de::Deserializer::deserialize_struct(\
+                 __deserializer, \"{name}\", {}, __Visitor(core::marker::PhantomData))",
+                str_array(names)
+            ),
+        ),
+    };
+
+    format!(
+        "{decl}\n\
+         impl<{visitor_impl_params}> serde::de::Visitor<'de> for __Visitor{args} {{\n\
+         type Value = {name}{args};\n{expecting}{visit_fns}}}\n{drive}"
+    )
+}
+
+fn deserialize_enum_body(
+    name: &str,
+    generics: &[String],
+    visitor_impl_params: &str,
+    variants: &[Variant],
+) -> String {
+    let args = type_args(generics);
+    let decl = visitor_decl("__Visitor", generics);
+    let expecting = expecting_fn(&format!("enum {name}"));
+    let variant_names: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit | Fields::Unnamed(0) => {
+                arms.push_str(&format!(
+                    "{idx}u32 => {{\nserde::de::VariantAccess::unit_variant(__variant)?;\n\
+                     core::result::Result::Ok({name}::{vname})\n}},\n"
+                ));
+            }
+            Fields::Unnamed(1) => {
+                arms.push_str(&format!(
+                    "{idx}u32 => core::result::Result::Ok({name}::{vname}(\
+                     serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                ));
+            }
+            Fields::Unnamed(n) => {
+                let inner = format!("__TupleVisitor{idx}");
+                let inner_decl = visitor_decl(&inner, generics);
+                let seq = visit_seq_fn(*n, &format!("{name}::{vname}({})", field_list(*n)));
+                let inner_expecting = expecting_fn(&format!("tuple variant {name}::{vname}"));
+                arms.push_str(&format!(
+                    "{idx}u32 => {{\n{inner_decl}\n\
+                     impl<{visitor_impl_params}> serde::de::Visitor<'de> for {inner}{args} {{\n\
+                     type Value = {name}{args};\n{inner_expecting}{seq}}}\n\
+                     serde::de::VariantAccess::tuple_variant(\
+                     __variant, {n}usize, {inner}(core::marker::PhantomData))\n}},\n"
+                ));
+            }
+            Fields::Named(names) => {
+                let inner = format!("__StructVisitor{idx}");
+                let inner_decl = visitor_decl(&inner, generics);
+                let seq = visit_seq_fn(
+                    names.len(),
+                    &named_construct(&format!("{name}::{vname}"), names),
+                );
+                let inner_expecting = expecting_fn(&format!("struct variant {name}::{vname}"));
+                arms.push_str(&format!(
+                    "{idx}u32 => {{\n{inner_decl}\n\
+                     impl<{visitor_impl_params}> serde::de::Visitor<'de> for {inner}{args} {{\n\
+                     type Value = {name}{args};\n{inner_expecting}{seq}}}\n\
+                     serde::de::VariantAccess::struct_variant(\
+                     __variant, {}, {inner}(core::marker::PhantomData))\n}},\n",
+                    str_array(names)
+                ));
+            }
+        }
+    }
+
+    format!(
+        "{decl}\n\
+         impl<{visitor_impl_params}> serde::de::Visitor<'de> for __Visitor{args} {{\n\
+         type Value = {name}{args};\n{expecting}\
+         fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+         -> core::result::Result<Self::Value, __A::Error> {{\n\
+         let (__idx, __variant): (u32, __A::Variant) = serde::de::EnumAccess::variant::<u32>(__data)?;\n\
+         match __idx {{\n{arms}\
+         _ => core::result::Result::Err(serde::de::Error::custom(\"invalid variant index\")),\n\
+         }}\n}}\n}}\n\
+         serde::de::Deserializer::deserialize_enum(\
+         __deserializer, \"{name}\", {}, __Visitor(core::marker::PhantomData))",
+        str_array(&variant_names)
+    )
+}
