@@ -1,0 +1,213 @@
+//! The schedule driver: interleaves simulation with fault application.
+
+use crate::schedule::{FaultEvent, FaultSchedule};
+use flexcast_sim::{Actor, LinkFault, ProcessId, SimTime, World};
+
+/// Applies one fault event to the world, immediately.
+///
+/// Usually called through [`run_schedule`], which handles timing; exposed
+/// for tests and custom drivers that manage time themselves.
+pub fn apply_event<M: Clone, A: Actor<M>>(world: &mut World<M, A>, ev: &FaultEvent) {
+    match ev {
+        FaultEvent::Crash(pid) => world.set_down(*pid, true),
+        FaultEvent::Recover(pid) => world.set_down(*pid, false),
+        FaultEvent::PartitionStart { a, b } => world.partition(a, b),
+        FaultEvent::PartitionEnd { a, b } => world.heal(a, b),
+        FaultEvent::BlockLink { from, to } => world.block_link(*from, *to),
+        FaultEvent::UnblockLink { from, to } => world.unblock_link(*from, *to),
+        FaultEvent::SetLinkFault { from, to, fault } => world.set_link_fault(*from, *to, *fault),
+        FaultEvent::ClearLinkFault { from, to } => {
+            world.set_link_fault(*from, *to, LinkFault::NONE)
+        }
+        FaultEvent::SpikeStart { pids, extra } => {
+            for_links_touching(world, pids, |world, from, to| {
+                let mut f = world.link_fault(from, to).unwrap_or(LinkFault::NONE);
+                f.extra_delay = *extra;
+                world.set_link_fault(from, to, f);
+            });
+        }
+        FaultEvent::SpikeEnd { pids } => {
+            for_links_touching(world, pids, |world, from, to| {
+                if let Some(mut f) = world.link_fault(from, to) {
+                    f.extra_delay = SimTime::ZERO;
+                    world.set_link_fault(from, to, f);
+                }
+            });
+        }
+    }
+}
+
+/// Visits every directed link with an endpoint in `pids`, exactly once.
+fn for_links_touching<M: Clone, A: Actor<M>>(
+    world: &mut World<M, A>,
+    pids: &[ProcessId],
+    mut visit: impl FnMut(&mut World<M, A>, ProcessId, ProcessId),
+) {
+    let n = world.len();
+    let mut affected = vec![false; n];
+    for &p in pids {
+        affected[p] = true;
+    }
+    for from in 0..n {
+        for to in 0..n {
+            if from != to && (affected[from] || affected[to]) {
+                visit(world, from, to);
+            }
+        }
+    }
+}
+
+/// Runs `world` under `schedule`: advances simulated time to each event,
+/// applies it, then runs the world to quiescence (bounded by
+/// `max_events`). Returns the number of events processed.
+///
+/// Identical `(world, schedule)` pairs — same actors, same seed — produce
+/// identical executions; every fault draw comes from the world's own
+/// seeded RNG.
+///
+/// # Panics
+///
+/// Panics if the world fails to quiesce within `max_events` (a livelock:
+/// some actor keeps re-arming timers or resending forever).
+pub fn run_schedule<M: Clone, A: Actor<M>>(
+    world: &mut World<M, A>,
+    schedule: &FaultSchedule,
+    max_events: u64,
+) -> u64 {
+    let mut n = 0;
+    for (t, ev) in schedule.sorted_events() {
+        n += world.run_until(t);
+        apply_event(world, ev);
+    }
+    n + world.run_to_quiescence(max_events.saturating_sub(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcast_overlay::LatencyMatrix;
+    use flexcast_sim::{Ctx, LinkModel};
+    use flexcast_types::GroupId;
+
+    /// Pings a peer every 10 ms until 100 ms; records pongs with times.
+    struct Pinger {
+        peer: ProcessId,
+        got: Vec<(u64, SimTime)>,
+        seq: u64,
+    }
+
+    impl Actor<u64> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.set_timer(SimTime::from_ms(10.0), 0);
+        }
+        fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            if msg.is_multiple_of(2) {
+                ctx.send(self.peer, msg + 1); // pong
+            } else {
+                self.got.push((msg, ctx.now()));
+            }
+        }
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_, u64>) {
+            ctx.send(self.peer, self.seq * 2);
+            self.seq += 1;
+            if ctx.now() < SimTime::from_ms(100.0) {
+                ctx.set_timer(SimTime::from_ms(10.0), 0);
+            }
+        }
+    }
+
+    fn world() -> World<u64, Pinger> {
+        let mut m = LatencyMatrix::zero(2);
+        m.set_rtt(0, 1, 10.0);
+        let a = Pinger {
+            peer: 1,
+            got: Vec::new(),
+            seq: 0,
+        };
+        let b = Pinger {
+            peer: 0,
+            got: Vec::new(),
+            seq: 0,
+        };
+        World::new(
+            vec![a, b],
+            LinkModel::new(m, vec![GroupId(0), GroupId(1)], 0.0),
+            11,
+        )
+    }
+
+    #[test]
+    fn empty_schedule_equals_plain_run() {
+        let mut w1 = world();
+        run_schedule(&mut w1, &FaultSchedule::new(), 100_000);
+        let mut w2 = world();
+        w2.run_to_quiescence(100_000);
+        assert_eq!(w1.actor(0).got, w2.actor(0).got);
+        assert!(!w1.actor(0).got.is_empty());
+    }
+
+    #[test]
+    fn partition_window_suppresses_traffic_then_heals() {
+        let mut w = world();
+        let s = FaultSchedule::new().partition_between(25.0, 65.0, &[0], &[1]);
+        run_schedule(&mut w, &s, 100_000);
+        let times: Vec<f64> = w.actor(0).got.iter().map(|&(_, t)| t.as_ms()).collect();
+        // Messages already in flight when the cut lands may still complete
+        // one round trip (10 ms); nothing new does until the heal.
+        assert!(
+            times.iter().all(|&t| t <= 35.0 || t >= 65.0),
+            "no fresh pong completes inside the partition window: {times:?}"
+        );
+        assert!(w.dropped_messages() > 0);
+        // Pings resumed after the heal.
+        assert!(times.iter().any(|&t| t >= 65.0));
+    }
+
+    #[test]
+    fn crash_and_recover_follow_the_schedule() {
+        let mut w = world();
+        let s = FaultSchedule::new().crash_at(5.0, 1).recover_at(55.0, 1);
+        run_schedule(&mut w, &s, 100_000);
+        // While 1 was down, 0's pings vanished; after recovery, 1's
+        // on_start re-armed its timer and its own pings resumed.
+        let times: Vec<f64> = w.actor(1).got.iter().map(|&(_, t)| t.as_ms()).collect();
+        assert!(times.iter().all(|&t| t >= 55.0), "{times:?}");
+        assert!(!times.is_empty(), "recovered process made progress");
+    }
+
+    #[test]
+    fn spike_applies_and_clears_extra_delay() {
+        let mut w = world();
+        apply_event(
+            &mut w,
+            &FaultEvent::SpikeStart {
+                pids: vec![1],
+                extra: SimTime::from_ms(7.0),
+            },
+        );
+        assert_eq!(
+            w.link_fault(0, 1).unwrap().extra_delay,
+            SimTime::from_ms(7.0)
+        );
+        assert_eq!(
+            w.link_fault(1, 0).unwrap().extra_delay,
+            SimTime::from_ms(7.0)
+        );
+        apply_event(&mut w, &FaultEvent::SpikeEnd { pids: vec![1] });
+        assert_eq!(w.link_fault(0, 1), None, "empty fault entries cleared");
+    }
+
+    #[test]
+    fn runs_are_deterministic_under_chaos() {
+        let s = FaultSchedule::new()
+            .link_fault_between(0.0, 80.0, 0, 1, LinkFault::dropping(0.4))
+            .crash_at(30.0, 1)
+            .recover_at(50.0, 1);
+        let run = || {
+            let mut w = world();
+            run_schedule(&mut w, &s, 100_000);
+            (w.actor(0).got.clone(), w.processed_events())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic fault injection over the FlexCast simulator.
+//!
+//! The paper's fault-tolerance claim (§4.4) is that a FlexCast group
+//! survives replica failures through state machine replication — but a
+//! claim like that is only as good as the failure scenarios it has been
+//! exercised under. This crate makes fault scenarios first-class,
+//! explorable configurations:
+//!
+//! * [`FaultEvent`] — one timed fault: crash/recover a process, start/heal
+//!   a symmetric or asymmetric partition, install a probabilistic
+//!   [`LinkFault`](flexcast_sim::LinkFault) (drop/duplicate/reorder), or
+//!   spike the latency of every link touching a set of processes.
+//! * [`FaultSchedule`] — a declarative, composable script of timed events,
+//!   built through a small builder DSL ([`FaultSchedule::crash_at`],
+//!   [`FaultSchedule::partition_between`], ...).
+//! * [`run_schedule`] — the driver: interleaves `World::run_until` with
+//!   event application, then runs the world to quiescence. Faults sample
+//!   the world's seeded RNG, so every chaotic run is exactly reproducible
+//!   from `(world seed, schedule)`.
+//! * [`scenarios`] — canned schedule generators (crash/recover, rolling
+//!   restarts, WAN partitions) for sweeps and examples.
+//!
+//! The crate is protocol-agnostic: it manipulates the simulator only.
+//! `flexcast-harness` supplies the replicated FlexCast worlds these
+//! schedules are pointed at, and `flexcast-bench`'s `fault_sweep` binary
+//! sweeps schedule parameters against replication factors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod scenarios;
+pub mod schedule;
+
+pub use driver::{apply_event, run_schedule};
+pub use schedule::{FaultEvent, FaultSchedule};

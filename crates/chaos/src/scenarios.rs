@@ -1,0 +1,91 @@
+//! Canned fault scenarios, parameterized by process sets.
+//!
+//! These generators know nothing about process layout — callers pass the
+//! pids (e.g. from `flexcast-harness`'s replicated-world layout) and get a
+//! composable [`FaultSchedule`] back. They cover the scenario axes the
+//! ROADMAP asks for: crash/failover, Byzantine-free churn (rolling
+//! restarts), and WAN partition sweeps.
+
+use crate::schedule::FaultSchedule;
+use flexcast_sim::ProcessId;
+
+/// Crash `pid` at `crash_ms` and bring it back `down_ms` later.
+pub fn crash_recover(pid: ProcessId, crash_ms: f64, down_ms: f64) -> FaultSchedule {
+    FaultSchedule::new()
+        .crash_at(crash_ms, pid)
+        .recover_at(crash_ms + down_ms, pid)
+}
+
+/// Rolling restart: each process in `pids` is crashed for `down_ms`, one
+/// after another, `step_ms` apart starting at `start_ms`. With `step_ms >
+/// down_ms` at most one process is down at a time — the classic
+/// zero-downtime upgrade drill.
+pub fn rolling_restart(
+    pids: &[ProcessId],
+    start_ms: f64,
+    down_ms: f64,
+    step_ms: f64,
+) -> FaultSchedule {
+    let mut s = FaultSchedule::new();
+    for (i, &pid) in pids.iter().enumerate() {
+        let at = start_ms + step_ms * i as f64;
+        s = s.crash_at(at, pid).recover_at(at + down_ms, pid);
+    }
+    s
+}
+
+/// WAN partition: severs `a` from `b` symmetrically for `duration_ms`
+/// starting at `start_ms`.
+pub fn wan_partition(
+    a: &[ProcessId],
+    b: &[ProcessId],
+    start_ms: f64,
+    duration_ms: f64,
+) -> FaultSchedule {
+    FaultSchedule::new().partition_between(start_ms, start_ms + duration_ms, a, b)
+}
+
+/// Isolate one process from everyone else (a total partition of `pid`)
+/// for `duration_ms` — e.g. a group leader cut off from its own replicas,
+/// forcing a failover, then rejoining with a stale ballot.
+pub fn isolate(
+    pid: ProcessId,
+    others: &[ProcessId],
+    start_ms: f64,
+    duration_ms: f64,
+) -> FaultSchedule {
+    FaultSchedule::new().partition_between(start_ms, start_ms + duration_ms, &[pid], others)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultEvent;
+    use flexcast_sim::SimTime;
+
+    #[test]
+    fn rolling_restart_staggers_crashes() {
+        let s = rolling_restart(&[4, 5, 6], 100.0, 20.0, 50.0);
+        assert_eq!(s.len(), 6);
+        let evs = s.sorted_events();
+        assert_eq!(evs[0], (SimTime::from_ms(100.0), &FaultEvent::Crash(4)));
+        assert_eq!(evs[1], (SimTime::from_ms(120.0), &FaultEvent::Recover(4)));
+        assert_eq!(evs[2], (SimTime::from_ms(150.0), &FaultEvent::Crash(5)));
+        assert_eq!(s.horizon(), SimTime::from_ms(220.0));
+    }
+
+    #[test]
+    fn crash_recover_pairs_up() {
+        let s = crash_recover(3, 10.0, 40.0);
+        let evs = s.sorted_events();
+        assert_eq!(evs[0], (SimTime::from_ms(10.0), &FaultEvent::Crash(3)));
+        assert_eq!(evs[1], (SimTime::from_ms(50.0), &FaultEvent::Recover(3)));
+    }
+
+    #[test]
+    fn wan_partition_and_isolate_build_windows() {
+        assert_eq!(wan_partition(&[0, 1], &[2, 3], 5.0, 10.0).len(), 2);
+        let s = isolate(0, &[1, 2], 0.0, 100.0);
+        assert_eq!(s.horizon(), SimTime::from_ms(100.0));
+    }
+}

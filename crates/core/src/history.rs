@@ -69,7 +69,7 @@ impl HistoryDelta {
 /// every [`HistoryDelta`] — is identical across runs and replicas. That
 /// determinism is what lets the engine run unchanged under state machine
 /// replication.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct History {
     verts: BTreeMap<MsgId, DestSet>,
     preds: BTreeMap<MsgId, BTreeSet<MsgId>>,

@@ -234,6 +234,9 @@ impl ServerActor {
                 self.handle_hier_outputs(outs, ctx);
             }
             NetMsg::Reply { .. } => panic!("servers do not receive replies"),
+            NetMsg::Repl(_) | NetMsg::GroupMsg { .. } => {
+                panic!("replication traffic belongs to replicated worlds")
+            }
         }
     }
 }

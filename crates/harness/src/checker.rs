@@ -32,6 +32,10 @@ pub struct CheckReport {
     /// Pairs of groups that deliver two shared messages in opposite
     /// orders, with the messages involved.
     pub prefix_violations: Vec<(GroupId, GroupId, MsgId, MsgId)>,
+    /// `(group, replica)` pairs whose delivery log diverged from the
+    /// group's most advanced replica (replicated runs only; see
+    /// [`check_lockstep`]). Empty for unreplicated runs.
+    pub lockstep_violations: Vec<(GroupId, u32)>,
     /// True if the global precedence relation ≺ is acyclic.
     pub acyclic: bool,
     /// Total deliveries examined.
@@ -43,9 +47,18 @@ pub struct CheckReport {
 impl CheckReport {
     /// True when every property holds.
     pub fn all_ok(&self) -> bool {
-        self.validity_violations.is_empty()
-            && self.integrity_violations.is_empty()
+        self.validity_violations.is_empty() && self.safety_ok()
+    }
+
+    /// True when every *safety* property holds — integrity, prefix order,
+    /// acyclic order, and replica lockstep. Excludes validity, which is a
+    /// liveness property: a run cut short by a fault schedule may
+    /// legitimately leave multicasts undelivered, but must never deliver
+    /// wrongly.
+    pub fn safety_ok(&self) -> bool {
+        self.integrity_violations.is_empty()
             && self.prefix_violations.is_empty()
+            && self.lockstep_violations.is_empty()
             && self.acyclic
     }
 
@@ -54,13 +67,37 @@ impl CheckReport {
     pub fn assert_ok(&self) {
         assert!(
             self.all_ok(),
-            "atomic multicast violation: validity={:?} integrity={:?} prefix={:?} acyclic={}",
+            "atomic multicast violation: validity={:?} integrity={:?} prefix={:?} lockstep={:?} acyclic={}",
             self.validity_violations,
             self.integrity_violations,
             self.prefix_violations,
+            self.lockstep_violations,
             self.acyclic
         );
     }
+}
+
+/// Checks replica lockstep for replicated groups: within each group,
+/// every replica's delivery log must be a prefix of the group's most
+/// advanced log (replicas apply the same committed sequence, so they may
+/// lag — after a crash, say — but never diverge or reorder). Returns the
+/// `(group, replica)` pairs that violate this, for
+/// [`CheckReport::lockstep_violations`].
+///
+/// `replica_logs[g][r]` is the delivery log of replica `r` of group `g`.
+pub fn check_lockstep(replica_logs: &[Vec<Vec<MsgId>>]) -> Vec<(GroupId, u32)> {
+    let mut bad = Vec::new();
+    for (g, logs) in replica_logs.iter().enumerate() {
+        let Some(longest) = logs.iter().max_by_key(|l| l.len()) else {
+            continue;
+        };
+        for (r, log) in logs.iter().enumerate() {
+            if log[..] != longest[..log.len()] {
+                bad.push((GroupId(g as u16), r as u32));
+            }
+        }
+    }
+    bad
 }
 
 /// Checks the trace of a quiesced run.
@@ -273,5 +310,39 @@ mod tests {
         let trace = vec![vec![ev(0, 1), ev(0, 2), ev(0, 3)], vec![ev(1, 1), ev(1, 3)]];
         let r = check(&reg, &trace);
         assert!(r.all_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn lockstep_accepts_prefixes_and_rejects_divergence() {
+        // Group 0: replica 1 lags (prefix) — fine. Group 1: replica 1
+        // reordered — violation. Group 2: replica 0 saw a different
+        // message at position 0 — violation.
+        let logs = vec![
+            vec![vec![id(1), id(2), id(3)], vec![id(1), id(2)]],
+            vec![vec![id(1), id(2), id(9)], vec![id(2), id(1)]],
+            vec![vec![id(5)], vec![id(6), id(7)]],
+        ];
+        let bad = check_lockstep(&logs);
+        assert_eq!(bad, vec![(GroupId(1), 1), (GroupId(2), 0)]);
+
+        let mut r = CheckReport {
+            acyclic: true,
+            ..CheckReport::default()
+        };
+        assert!(r.all_ok());
+        r.lockstep_violations = bad;
+        assert!(!r.safety_ok());
+        assert!(!r.all_ok());
+    }
+
+    #[test]
+    fn safety_ok_ignores_validity() {
+        let r = CheckReport {
+            acyclic: true,
+            validity_violations: vec![id(1)],
+            ..CheckReport::default()
+        };
+        assert!(r.safety_ok(), "undelivered is a liveness gap, not unsafe");
+        assert!(!r.all_ok());
     }
 }

@@ -17,6 +17,10 @@
 //! * [`experiment`] — configuration and runner gluing it all together;
 //!   every figure/table binary in `flexcast-bench` is a thin loop over
 //!   [`experiment::run`].
+//! * [`replicated`] — FlexCast groups as quorums of Paxos replicas
+//!   (`flexcast-smr`), surviving crashes, failovers, and partitions
+//!   injected by `flexcast-chaos`; the checker gains a replica-lockstep
+//!   property for these runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +29,9 @@ pub mod actors;
 pub mod checker;
 pub mod experiment;
 pub mod netmsg;
+pub mod replicated;
 
 pub use checker::{CheckReport, DeliveryEvent};
 pub use experiment::{run, run_on, ExperimentConfig, ExperimentResult, NodeStats, ProtocolKind};
 pub use netmsg::NetMsg;
+pub use replicated::{ReplicatedConfig, ReplicatedResult};

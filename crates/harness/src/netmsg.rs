@@ -1,7 +1,9 @@
 //! The simulator's wire message: a superset of all protocol packets.
 
+use crate::replicated::ReplCmd;
 use flexcast_baselines::{HierPacket, SkeenPacket};
 use flexcast_core::Packet as FlexPacket;
+use flexcast_smr::PaxosMsg;
 use flexcast_types::{Message, MsgId};
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +34,19 @@ pub enum NetMsg {
         /// The delivered message.
         id: MsgId,
     },
+    /// Intra-group Paxos replication traffic (replicated worlds only).
+    Repl(PaxosMsg<ReplCmd>),
+    /// An inter-group FlexCast packet between *replicated* groups,
+    /// sequence-numbered per directed group link so receivers can
+    /// reconstruct the FIFO channel the engine assumes even under
+    /// retransmission and reordering.
+    GroupMsg {
+        /// Position on the directed group link (assigned by the sender's
+        /// replicated engine).
+        seq: u64,
+        /// The FlexCast packet.
+        pkt: FlexPacket,
+    },
 }
 
 impl NetMsg {
@@ -49,6 +64,8 @@ impl NetMsg {
             NetMsg::Skeen(p) => matches!(p, SkeenPacket::Msg(_)),
             NetMsg::Hier(_) => true,
             NetMsg::Reply { .. } => false,
+            NetMsg::Repl(_) => false,
+            NetMsg::GroupMsg { pkt, .. } => pkt.is_payload(),
         }
     }
 }

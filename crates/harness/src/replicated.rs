@@ -1,0 +1,1021 @@
+//! Replicated FlexCast groups as simulator actors (paper §4.4).
+//!
+//! The unreplicated harness runs one engine per group and assumes the
+//! simulator's reliable FIFO links. This module finally connects
+//! `flexcast-smr` into the experiment DAG: each group becomes a quorum of
+//! Paxos replicas ([`ReplicatedActor`]) driving a shared
+//! [`ReplicatedGroup`]`<`[`ReplEngine`]`>`, so the group keeps multicasting
+//! through replica crashes, leader failovers, partitions, and lossy links
+//! injected by `flexcast-chaos`.
+//!
+//! # How the paper's channel assumptions are re-established
+//!
+//! The FlexCast engine requires reliable FIFO channels between *groups*
+//! (§2.1). Under faults the raw links offer neither, so the replication
+//! layer rebuilds both guarantees end to end:
+//!
+//! * **Exactly-once input**: every group input (client message or peer
+//!   packet) is proposed as a Paxos command; the [`ReplEngine`] state
+//!   machine deduplicates at apply time (client messages by id, peer
+//!   packets by per-link sequence number), so client retries, leader
+//!   re-emissions, and outbox retransmissions are all safe.
+//! * **FIFO per group link**: every inter-group packet carries a sequence
+//!   number assigned deterministically at apply time by the *sending*
+//!   replicated engine; the receiving engine applies packets from each
+//!   ancestor strictly in sequence (holding back out-of-order arrivals),
+//!   which reconstructs exactly the channel the engine's history diffs
+//!   assume.
+//! * **Reliability**: actors retry on timers — clients re-send unacked
+//!   multicasts, leaders re-drive stuck Paxos slots and periodically
+//!   retransmit the replicated outbox, and followers request gap-fills —
+//!   so anything lost to a crash, drop, or partition is eventually
+//!   re-delivered once connectivity returns.
+//!
+//! Only the current leader emits engine effects; after a failover the new
+//! leader may re-emit, and every re-emission is absorbed by the dedup
+//! layer above. Replica delivery logs are replicated state, so any
+//! survivor can serve the group's delivery order and the checker can
+//! assert the replicas never diverged (lockstep).
+
+use crate::checker::{self, CheckReport, DeliveryEvent};
+use crate::netmsg::NetMsg;
+use flexcast_core::{FlexCastGroup, Output, Packet};
+use flexcast_overlay::{CDagOrder, LatencyMatrix};
+use flexcast_sim::{Actor, Ctx, LinkModel, ProcessId, SimTime, Summary, World};
+use flexcast_smr::{GroupEffect, ReplicatedGroup};
+use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A command proposed to (and committed by) a group's Paxos log, and —
+/// re-used as the effect payload — an action the leader emits.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum ReplCmd {
+    /// Input: a client multicast (destinations in node space). As a
+    /// leader-emitted effect: the engine delivered this message.
+    Client(Message),
+    /// Input: packet `pkt` is the `seq`-th message on the directed group
+    /// link from `peer` to this group. As a leader-emitted effect: send
+    /// `pkt` as the `seq`-th message on the link *to* group `peer`.
+    Peer {
+        /// The remote group on the link (sender for inputs, destination
+        /// for emitted effects).
+        peer: GroupId,
+        /// Position on the directed group link, starting at 0.
+        seq: u64,
+        /// The FlexCast packet.
+        pkt: Packet,
+    },
+    /// No-op, proposed once at leadership take-over so the log is never
+    /// empty and Learn-based heartbeats have something to re-send.
+    Noop {
+        /// The replica that proposed it (debugging only).
+        proposer: u32,
+    },
+}
+
+/// The replicated state machine: a FlexCast engine plus the dedup and
+/// FIFO-reconstruction bookkeeping described in the module docs. All
+/// fields evolve deterministically from the committed command sequence,
+/// so every replica holds an identical copy.
+pub struct ReplEngine {
+    engine: FlexCastGroup,
+    order: CDagOrder,
+    /// Client messages already consumed by the engine.
+    applied_clients: BTreeSet<MsgId>,
+    /// Next expected sequence number per inbound group link.
+    next_in: BTreeMap<GroupId, u64>,
+    /// Out-of-order inbound packets held until their turn.
+    held: BTreeMap<(GroupId, u64), Packet>,
+    /// Next sequence number per outbound group link.
+    next_out: BTreeMap<GroupId, u64>,
+    /// Every inter-group send ever emitted, in emission order. Replicated
+    /// state: any leader can retransmit the whole channel history.
+    outbox: Vec<(GroupId, u64, Packet)>,
+    /// Delivery log in commit order (identical across replicas).
+    log: Vec<MsgId>,
+}
+
+impl ReplEngine {
+    /// Creates the state machine for the group at `node`.
+    pub fn new(node: GroupId, order: CDagOrder) -> Self {
+        let rank = order.rank_of(node);
+        let n = order.len() as u16;
+        ReplEngine {
+            engine: FlexCastGroup::new(rank, n),
+            order,
+            applied_clients: BTreeSet::new(),
+            next_in: BTreeMap::new(),
+            held: BTreeMap::new(),
+            next_out: BTreeMap::new(),
+            outbox: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The wrapped FlexCast engine.
+    pub fn engine(&self) -> &FlexCastGroup {
+        &self.engine
+    }
+
+    /// The delivery log in commit order.
+    pub fn delivery_log(&self) -> &[MsgId] {
+        &self.log
+    }
+
+    /// The replicated outbox of inter-group sends.
+    pub fn outbox(&self) -> &[(GroupId, u64, Packet)] {
+        &self.outbox
+    }
+
+    /// True if the client message was already consumed.
+    pub fn is_client_applied(&self, id: MsgId) -> bool {
+        self.applied_clients.contains(&id)
+    }
+
+    /// True if the inbound packet at `(peer, seq)` was already applied.
+    pub fn is_peer_applied(&self, peer: GroupId, seq: u64) -> bool {
+        seq < self.next_in.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// The group serving as the FlexCast entry point for destinations
+    /// `dst` (the node holding the lowest rank — the message's lca).
+    pub fn entry_node(&self, dst: DestSet) -> GroupId {
+        let lca_rank = self
+            .order
+            .to_ranks(dst)
+            .lowest()
+            .expect("multicasts have destinations");
+        self.order.node_at(lca_rank)
+    }
+
+    fn absorb(&mut self, outputs: Vec<Output>, out: &mut Vec<GroupEffect<ReplCmd>>) {
+        for o in outputs {
+            match o {
+                Output::Deliver(m) => {
+                    self.log.push(m.id);
+                    out.push(GroupEffect::Engine(ReplCmd::Client(m)));
+                }
+                Output::Send { to, pkt } => {
+                    let node = self.order.node_at(to);
+                    let seq = self.next_out.entry(node).or_insert(0);
+                    let s = *seq;
+                    *seq += 1;
+                    self.outbox.push((node, s, pkt.clone()));
+                    out.push(GroupEffect::Engine(ReplCmd::Peer {
+                        peer: node,
+                        seq: s,
+                        pkt,
+                    }));
+                }
+            }
+        }
+    }
+
+    fn apply_pkt(&mut self, peer: GroupId, pkt: Packet, out: &mut Vec<GroupEffect<ReplCmd>>) {
+        let from_rank = self.order.rank_of(peer);
+        let mut outputs = Vec::new();
+        self.engine.on_packet(from_rank, pkt, &mut outputs);
+        self.absorb(outputs, out);
+    }
+}
+
+/// The `apply` function handed to [`ReplicatedGroup`]: how one committed
+/// command mutates the state machine and which effects the leader emits.
+pub fn apply_cmd(e: &mut ReplEngine, cmd: ReplCmd, out: &mut Vec<GroupEffect<ReplCmd>>) {
+    match cmd {
+        ReplCmd::Noop { .. } => {}
+        ReplCmd::Client(m) => {
+            if !e.applied_clients.insert(m.id) {
+                return; // duplicate proposal (client retry / dual leader)
+            }
+            let ranked = Message::new(m.id, e.order.to_ranks(m.dst), m.payload)
+                .expect("client messages have destinations");
+            let mut outputs = Vec::new();
+            e.engine.on_client(ranked, &mut outputs);
+            e.absorb(outputs, out);
+        }
+        ReplCmd::Peer { peer, seq, pkt } => {
+            let next = e.next_in.entry(peer).or_insert(0);
+            if seq < *next {
+                return; // duplicate (retransmission)
+            }
+            if seq > *next {
+                e.held.insert((peer, seq), pkt);
+                return; // out of order: hold until the gap closes
+            }
+            let mut cur = pkt;
+            loop {
+                *e.next_in.get_mut(&peer).expect("entry created above") += 1;
+                e.apply_pkt(peer, cur, out);
+                let want = e.next_in[&peer];
+                match e.held.remove(&(peer, want)) {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+/// Simulator pid of replica `r` of the group at `node` (replicas are laid
+/// out group-major: pids `[node·rf, node·rf + rf)`).
+pub fn replica_pid(node: GroupId, r: u32, rf: u32) -> ProcessId {
+    node.index() * rf as usize + r as usize
+}
+
+/// Simulator pid of a client (clients sit after all replicas).
+pub fn client_pid(n_groups: usize, rf: u32, c: ClientId) -> ProcessId {
+    n_groups * rf as usize + c.0 as usize
+}
+
+/// The group a replica pid belongs to.
+pub fn group_of(pid: ProcessId, rf: u32) -> GroupId {
+    GroupId((pid / rf as usize) as u16)
+}
+
+/// The replica index of a replica pid within its group.
+pub fn replica_of(pid: ProcessId, rf: u32) -> u32 {
+    (pid % rf as usize) as u32
+}
+
+/// One replica of a replicated FlexCast group, as a simulator actor.
+///
+/// Responsibilities beyond feeding the [`ReplicatedGroup`]: routing
+/// replication traffic to sibling pids, fanning leader-emitted packets out
+/// to every replica of the destination group, answering clients, failure
+/// detection with staggered election timeouts, and the periodic
+/// repair/retransmission ticks that give the system liveness under faults.
+pub struct ReplicatedActor {
+    node: GroupId,
+    replica: u32,
+    rf: u32,
+    n_groups: usize,
+    rg: ReplicatedGroup<ReplEngine, ReplCmd>,
+    /// Inputs seen on the network and not yet observed applied.
+    inbox: Vec<ReplCmd>,
+    was_leader: bool,
+    tick: SimTime,
+    stop_at: SimTime,
+    retransmit_every: u64,
+    ticks: u64,
+    last_leader_seen: SimTime,
+    /// Rotating cursor into the outbox for bounded retransmission rounds.
+    retransmit_cursor: usize,
+    /// Leader-side delivery emissions with simulated times (diagnostics;
+    /// the authoritative per-group order is the replicated delivery log).
+    pub delivery_events: Vec<DeliveryEvent>,
+}
+
+impl ReplicatedActor {
+    /// Creates replica `replica` of the group at `node`.
+    pub fn new(
+        node: GroupId,
+        replica: u32,
+        rf: u32,
+        order: CDagOrder,
+        tick: SimTime,
+        stop_at: SimTime,
+        retransmit_every: u64,
+    ) -> Self {
+        let n_groups = order.len();
+        ReplicatedActor {
+            node,
+            replica,
+            rf,
+            n_groups,
+            rg: ReplicatedGroup::new(replica, rf, ReplEngine::new(node, order), apply_cmd),
+            inbox: Vec::new(),
+            was_leader: false,
+            tick,
+            stop_at,
+            retransmit_every: retransmit_every.max(1),
+            ticks: 0,
+            last_leader_seen: SimTime::ZERO,
+            retransmit_cursor: 0,
+            delivery_events: Vec::new(),
+        }
+    }
+
+    /// The replicated state machine (for collection and diagnostics).
+    pub fn state(&self) -> &ReplEngine {
+        self.rg.engine()
+    }
+
+    /// True if this replica currently leads its group.
+    pub fn is_leader(&self) -> bool {
+        self.rg.is_leader()
+    }
+
+    fn is_applied(&self, cmd: &ReplCmd) -> bool {
+        match cmd {
+            ReplCmd::Client(m) => self.rg.engine().is_client_applied(m.id),
+            ReplCmd::Peer { peer, seq, .. } => self.rg.engine().is_peer_applied(*peer, *seq),
+            ReplCmd::Noop { .. } => true,
+        }
+    }
+
+    /// Sends an inter-group packet to every replica of the destination
+    /// group (any live one suffices to get it into that group's log).
+    fn send_group(&self, to: GroupId, seq: u64, pkt: Packet, ctx: &mut Ctx<'_, NetMsg>) {
+        for r in 0..self.rf {
+            ctx.send(
+                replica_pid(to, r, self.rf),
+                NetMsg::GroupMsg {
+                    seq,
+                    pkt: pkt.clone(),
+                },
+            );
+        }
+    }
+
+    /// Emits a batch of group effects into the network. Never proposes.
+    fn emit(&mut self, fx: Vec<GroupEffect<ReplCmd>>, ctx: &mut Ctx<'_, NetMsg>) {
+        for e in fx {
+            match e {
+                GroupEffect::Replication { to, msg } => {
+                    ctx.send(replica_pid(self.node, to, self.rf), NetMsg::Repl(msg));
+                }
+                GroupEffect::Engine(ReplCmd::Client(m)) => {
+                    self.delivery_events.push(DeliveryEvent {
+                        node: self.node,
+                        id: m.id,
+                        at: ctx.now(),
+                    });
+                    ctx.send(
+                        client_pid(self.n_groups, self.rf, m.id.sender),
+                        NetMsg::Reply { id: m.id },
+                    );
+                }
+                GroupEffect::Engine(ReplCmd::Peer { peer, seq, pkt }) => {
+                    self.send_group(peer, seq, pkt, ctx);
+                }
+                GroupEffect::Engine(ReplCmd::Noop { .. }) => {}
+            }
+        }
+    }
+
+    /// After any interaction with the replication layer: if this replica
+    /// just became leader, seed the log with a no-op and propose every
+    /// pending input it has been holding as a follower.
+    fn check_transition(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        if self.rg.is_leader() && !self.was_leader {
+            self.was_leader = true;
+            let mut fx = Vec::new();
+            self.rg.submit(
+                ReplCmd::Noop {
+                    proposer: self.replica,
+                },
+                &mut fx,
+            );
+            let pending: Vec<ReplCmd> = self
+                .inbox
+                .iter()
+                .filter(|c| !self.is_applied(c))
+                .cloned()
+                .collect();
+            for cmd in pending {
+                self.rg.submit(cmd, &mut fx);
+            }
+            self.emit(fx, ctx);
+        } else if !self.rg.is_leader() {
+            self.was_leader = false;
+        }
+    }
+
+    /// Takes one input from the network into the group.
+    fn intake(&mut self, cmd: ReplCmd, ctx: &mut Ctx<'_, NetMsg>) {
+        if self.is_applied(&cmd) || self.inbox.contains(&cmd) {
+            return;
+        }
+        self.inbox.push(cmd.clone());
+        if self.rg.is_leader() {
+            let mut fx = Vec::new();
+            self.rg.submit(cmd, &mut fx);
+            self.emit(fx, ctx);
+            self.check_transition(ctx);
+        }
+    }
+
+    /// Staggered failure-detection threshold: lower replica ids take over
+    /// first, avoiding dueling candidates.
+    fn suspicion_threshold(&self) -> SimTime {
+        SimTime::from_ms(self.tick.as_ms() * (4.0 + 3.0 * self.replica as f64))
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        self.ticks += 1;
+        // Drop inputs the group has since applied.
+        let applied: Vec<bool> = self.inbox.iter().map(|c| self.is_applied(c)).collect();
+        let mut keep = applied.iter().map(|&a| !a);
+        self.inbox.retain(|_| keep.next().unwrap_or(true));
+
+        let mut fx = Vec::new();
+        if self.rg.is_leader() {
+            // Re-propose anything still pending (duplicates are absorbed
+            // at apply), re-drive stuck slots, heartbeat the newest commit.
+            for cmd in self.inbox.clone() {
+                self.rg.submit(cmd, &mut fx);
+            }
+            self.rg.tick_repair(&mut fx);
+            self.emit(fx, ctx);
+            // Periodically retransmit a bounded, rotating window of the
+            // replicated outbox: receivers discard what they already
+            // applied, successive rounds cover the full channel history,
+            // and steady-state traffic stays linear in the outbox size.
+            if self.ticks.is_multiple_of(self.retransmit_every) {
+                const WINDOW: usize = 64;
+                let outbox = self.rg.engine().outbox();
+                let len = outbox.len();
+                if len > 0 {
+                    let start = if self.retransmit_cursor >= len {
+                        0
+                    } else {
+                        self.retransmit_cursor
+                    };
+                    let end = (start + WINDOW).min(len);
+                    let window = outbox[start..end].to_vec();
+                    self.retransmit_cursor = if end >= len { 0 } else { end };
+                    for (to, seq, pkt) in window {
+                        self.send_group(to, seq, pkt, ctx);
+                    }
+                }
+            }
+        } else {
+            // Followers: request gap-fills, and elect on a silent leader.
+            self.rg.tick_repair(&mut fx);
+            self.emit(fx, ctx);
+            if ctx.now().since(self.last_leader_seen) > self.suspicion_threshold() {
+                self.last_leader_seen = ctx.now();
+                let mut fx = Vec::new();
+                self.rg.start_election(&mut fx);
+                self.emit(fx, ctx);
+            }
+        }
+        self.check_transition(ctx);
+        if ctx.now() + self.tick < self.stop_at {
+            ctx.set_timer(self.tick, 0);
+        }
+    }
+}
+
+impl Actor<NetMsg> for ReplicatedActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        // First boot: replica 0 of each group runs the initial election.
+        // On recovery (the simulator re-runs on_start after a crash heals)
+        // this block is skipped and the suspicion logic takes over.
+        if ctx.now() == SimTime::ZERO && self.replica == 0 {
+            let mut fx = Vec::new();
+            self.rg.start_election(&mut fx);
+            self.emit(fx, ctx);
+            self.check_transition(ctx);
+        }
+        if ctx.now() + self.tick < self.stop_at {
+            ctx.set_timer(self.tick, 0);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg>) {
+        match msg {
+            NetMsg::Client { msg: m, .. } => {
+                // Re-ack path: if this destination already delivered `m`,
+                // the original Reply may have been lost — the leader
+                // re-sends it. Client retries fan out to every destination
+                // group precisely so each can recover its own lost ack.
+                if self.rg.engine().engine().has_delivered(m.id) {
+                    if self.rg.is_leader() {
+                        ctx.send(
+                            client_pid(self.n_groups, self.rf, m.id.sender),
+                            NetMsg::Reply { id: m.id },
+                        );
+                    }
+                    return;
+                }
+                // Only the entry (lca) group orders client messages;
+                // other destinations learn of `m` through the overlay.
+                if self.rg.engine().entry_node(m.dst) == self.node {
+                    self.intake(ReplCmd::Client(m), ctx);
+                }
+            }
+            NetMsg::GroupMsg { seq, pkt } => {
+                let peer = group_of(from, self.rf);
+                self.intake(ReplCmd::Peer { peer, seq, pkt }, ctx);
+            }
+            NetMsg::Repl(pm) => {
+                self.last_leader_seen = ctx.now();
+                let mut fx = Vec::new();
+                self.rg
+                    .on_replication(replica_of(from, self.rf), pm, &mut fx);
+                self.emit(fx, ctx);
+                self.check_transition(ctx);
+            }
+            other => panic!("replica received unexpected message {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_, NetMsg>) {
+        self.on_tick(ctx);
+    }
+}
+
+struct OutstandingTxn {
+    id: MsgId,
+    dst: DestSet,
+    acked: DestSet,
+    sent_at: SimTime,
+    first_ack_ms: Option<f64>,
+}
+
+/// A closed-loop client for replicated worlds: issues one multicast at a
+/// time to every replica of the message's lca group, collects one ack per
+/// destination group (duplicates from leader changes are ignored), and
+/// retries unacked messages on a timer — the client-side half of the
+/// end-to-end reliability story.
+pub struct ReplClientActor {
+    id: ClientId,
+    rf: u32,
+    order: CDagOrder,
+    rng: StdRng,
+    n_msgs: u32,
+    max_dst: usize,
+    payload_bytes: usize,
+    retry: SimTime,
+    stop_at: SimTime,
+    seq: u32,
+    outstanding: Option<OutstandingTxn>,
+    /// Every multicast issued, with its destination set (node space).
+    pub issued: Vec<(MsgId, DestSet)>,
+    /// Completion latency (all destinations acked) per finished multicast.
+    pub completion_ms: Vec<f64>,
+    /// Latency of the first destination ack per finished multicast.
+    pub first_ack_ms: Vec<f64>,
+    /// Fully acknowledged multicasts.
+    pub completed: u64,
+}
+
+impl ReplClientActor {
+    /// Creates a client that issues `n_msgs` multicasts with 2..=`max_dst`
+    /// destinations each.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: ClientId,
+        rf: u32,
+        order: CDagOrder,
+        n_msgs: u32,
+        max_dst: usize,
+        payload_bytes: usize,
+        retry: SimTime,
+        stop_at: SimTime,
+        seed: u64,
+    ) -> Self {
+        ReplClientActor {
+            id,
+            rf,
+            order,
+            rng: StdRng::seed_from_u64(seed),
+            n_msgs,
+            max_dst,
+            payload_bytes,
+            retry,
+            stop_at,
+            seq: 0,
+            outstanding: None,
+            issued: Vec::new(),
+            completion_ms: Vec::new(),
+            first_ack_ms: Vec::new(),
+            completed: 0,
+        }
+    }
+
+    fn next_dst(&mut self) -> DestSet {
+        let n = self.order.len();
+        let k = self.rng.random_range(2..=self.max_dst.min(n).max(2));
+        let mut dst = DestSet::new();
+        while dst.len() < k {
+            dst.insert(GroupId(self.rng.random_range(0..n as u16)));
+        }
+        dst
+    }
+
+    /// Sends `m` to every replica of each group in `targets`.
+    fn send_to_groups(&self, m: &Message, targets: &[GroupId], ctx: &mut Ctx<'_, NetMsg>) {
+        let n_groups = self.order.len();
+        for &g in targets {
+            for r in 0..self.rf {
+                ctx.send(
+                    replica_pid(g, r, self.rf),
+                    NetMsg::Client {
+                        msg: m.clone(),
+                        reply_to: client_pid(n_groups, self.rf, self.id),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The FlexCast entry point for `m`: the node holding the lowest rank
+    /// among the destinations.
+    fn entry_of(&self, m: &Message) -> GroupId {
+        let lca_rank = self
+            .order
+            .to_ranks(m.dst)
+            .lowest()
+            .expect("multicasts have destinations");
+        self.order.node_at(lca_rank)
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        let dst = self.next_dst();
+        let id = MsgId::new(self.id, self.seq);
+        self.seq += 1;
+        let m = Message::new(id, dst, vec![7u8; self.payload_bytes].into())
+            .expect("generated destinations are non-empty");
+        self.issued.push((id, dst));
+        self.outstanding = Some(OutstandingTxn {
+            id,
+            dst,
+            acked: DestSet::new(),
+            sent_at: ctx.now(),
+            first_ack_ms: None,
+        });
+        // First attempt: the entry group only. Retries fan out wider.
+        self.send_to_groups(&m, &[self.entry_of(&m)], ctx);
+        // The retry timer carries the transaction's sequence number, so
+        // at most one retry chain is live: stale chains from completed
+        // transactions see a different token and die out.
+        ctx.set_timer(self.retry, id.seq as u64);
+    }
+}
+
+impl Actor<NetMsg> for ReplClientActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        if self.n_msgs > 0 {
+            self.issue(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg>) {
+        let NetMsg::Reply { id } = msg else {
+            panic!("clients only receive replies");
+        };
+        let Some(out) = &mut self.outstanding else {
+            return; // late duplicate for a finished multicast
+        };
+        if out.id != id {
+            return; // ack for an older multicast
+        }
+        let group = group_of(from, self.rf);
+        if out.acked.contains(group) {
+            return; // duplicate ack after a leader change
+        }
+        out.acked.insert(group);
+        let elapsed = ctx.now().since(out.sent_at).as_ms();
+        out.first_ack_ms.get_or_insert(elapsed);
+        if out.acked == out.dst {
+            self.completion_ms.push(elapsed);
+            self.first_ack_ms
+                .push(out.first_ack_ms.expect("set on first ack"));
+            self.completed += 1;
+            self.outstanding = None;
+            if self.seq < self.n_msgs && ctx.now() < self.stop_at {
+                self.issue(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, NetMsg>) {
+        // Retry: re-send the outstanding multicast; the group-side dedup
+        // makes this safe, and it is what restores lost client traffic.
+        let Some(out) = &self.outstanding else { return };
+        if out.id.seq as u64 != token || ctx.now() >= self.stop_at {
+            return; // stale chain from a completed transaction, or done
+        }
+        let m = Message::new(out.id, out.dst, vec![7u8; self.payload_bytes].into())
+            .expect("outstanding multicasts have destinations");
+        // Fan out to every unacked destination group (not just the entry):
+        // a destination that delivered but whose Reply was lost re-acks.
+        let targets: Vec<GroupId> = out.dst.difference(out.acked).iter().collect();
+        self.send_to_groups(&m, &targets, ctx);
+        ctx.set_timer(self.retry, token);
+    }
+}
+
+/// An actor in a replicated world: a group replica or a client.
+#[allow(clippy::large_enum_variant)]
+pub enum ReplNode {
+    /// One Paxos replica of a FlexCast group.
+    Replica(ReplicatedActor),
+    /// A closed-loop multicast client.
+    Client(ReplClientActor),
+}
+
+impl Actor<NetMsg> for ReplNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        match self {
+            ReplNode::Replica(r) => r.on_start(ctx),
+            ReplNode::Client(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg>) {
+        match self {
+            ReplNode::Replica(r) => r.on_message(from, msg, ctx),
+            ReplNode::Client(c) => c.on_message(from, msg, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, NetMsg>) {
+        match self {
+            ReplNode::Replica(r) => r.on_timer(token, ctx),
+            ReplNode::Client(c) => c.on_timer(token, ctx),
+        }
+    }
+}
+
+/// Configuration of a replicated-group experiment.
+#[derive(Clone, Debug)]
+pub struct ReplicatedConfig {
+    /// Number of FlexCast groups (one per site).
+    pub n_groups: u16,
+    /// Replication factor: Paxos replicas per group.
+    pub rf: u32,
+    /// C-DAG rank order over the groups.
+    pub order: CDagOrder,
+    /// Number of closed-loop clients.
+    pub n_clients: usize,
+    /// Multicasts each client issues.
+    pub msgs_per_client: u32,
+    /// Maximum destinations per multicast (at least 2).
+    pub max_dst: usize,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// RNG seed (workload, jitter, and fault sampling).
+    pub seed: u64,
+    /// Uniform network jitter bound in milliseconds.
+    pub jitter_ms: f64,
+    /// Replica maintenance-timer period.
+    pub tick: SimTime,
+    /// Client retry period.
+    pub retry: SimTime,
+    /// Outbox retransmission period, in ticks.
+    pub retransmit_every: u64,
+    /// All timers stop at this simulated time; choose it past the fault
+    /// schedule's horizon with room for recovery, or the run cannot heal.
+    pub stop_at: SimTime,
+}
+
+impl ReplicatedConfig {
+    /// A small default configuration: `n_groups` groups replicated `rf`
+    /// ways, 2 clients × 8 multicasts, timers sized for sub-minute runs.
+    pub fn small(n_groups: u16, rf: u32, seed: u64) -> Self {
+        ReplicatedConfig {
+            n_groups,
+            rf,
+            order: CDagOrder::identity(n_groups as usize),
+            n_clients: 2,
+            msgs_per_client: 8,
+            max_dst: 3,
+            payload_bytes: 32,
+            seed,
+            jitter_ms: 1.0,
+            tick: SimTime::from_ms(40.0),
+            retry: SimTime::from_ms(400.0),
+            retransmit_every: 8,
+            stop_at: SimTime::from_secs(30),
+        }
+    }
+}
+
+/// Everything a replicated run produces.
+#[derive(Debug)]
+pub struct ReplicatedResult {
+    /// Property-checker verdict, including replica lockstep.
+    pub check: CheckReport,
+    /// Fully acknowledged multicasts across all clients.
+    pub completed: u64,
+    /// Multicasts issued across all clients.
+    pub issued: usize,
+    /// `completed / issued` — the availability the fault sweep reports.
+    pub availability: f64,
+    /// Completion latency (all destinations acked) in milliseconds.
+    pub latency: Summary,
+    /// First-destination ack latency in milliseconds.
+    pub first_ack: Summary,
+    /// Per-group delivery order (from the most advanced replica log).
+    pub trace: Vec<Vec<DeliveryEvent>>,
+    /// Per-group, per-replica delivery logs (lockstep evidence).
+    pub replica_logs: Vec<Vec<Vec<MsgId>>>,
+    /// Total simulator events processed.
+    pub events: u64,
+    /// Messages lost to faults, partitions, and crashes.
+    pub dropped: u64,
+}
+
+/// Builds the world for a replicated experiment on `matrix` (one site per
+/// group; a group's replicas are co-located at its site). Drive it with
+/// `flexcast_chaos::run_schedule` — or plain `run_to_quiescence` for a
+/// fault-free run — then hand it to [`collect`].
+pub fn build_world(cfg: &ReplicatedConfig, matrix: &LatencyMatrix) -> World<NetMsg, ReplNode> {
+    assert_eq!(
+        matrix.len(),
+        cfg.n_groups as usize,
+        "one latency-matrix site per group"
+    );
+    assert_eq!(
+        cfg.order.len(),
+        cfg.n_groups as usize,
+        "order covers all groups"
+    );
+    assert!(cfg.rf >= 1, "need at least one replica per group");
+    assert!(
+        cfg.max_dst >= 2,
+        "multicasts need at least two destinations"
+    );
+
+    let mut actors: Vec<ReplNode> = Vec::new();
+    let mut sites: Vec<GroupId> = Vec::new();
+    for g in 0..cfg.n_groups {
+        for r in 0..cfg.rf {
+            actors.push(ReplNode::Replica(ReplicatedActor::new(
+                GroupId(g),
+                r,
+                cfg.rf,
+                cfg.order.clone(),
+                cfg.tick,
+                cfg.stop_at,
+                cfg.retransmit_every,
+            )));
+            sites.push(GroupId(g));
+        }
+    }
+    for c in 0..cfg.n_clients {
+        actors.push(ReplNode::Client(ReplClientActor::new(
+            ClientId(c as u32),
+            cfg.rf,
+            cfg.order.clone(),
+            cfg.msgs_per_client,
+            cfg.max_dst,
+            cfg.payload_bytes,
+            cfg.retry,
+            cfg.stop_at,
+            cfg.seed.wrapping_add(1).wrapping_add(c as u64),
+        )));
+        sites.push(GroupId((c % cfg.n_groups as usize) as u16));
+    }
+
+    let link = LinkModel::new(matrix.clone(), sites, cfg.jitter_ms);
+    World::new(actors, link, cfg.seed)
+}
+
+/// Collects results from a quiesced replicated world: the multicast
+/// registry, the per-group delivery traces, replica lockstep, and the
+/// client-observed latency/availability numbers.
+pub fn collect(cfg: &ReplicatedConfig, world: &World<NetMsg, ReplNode>) -> ReplicatedResult {
+    let n_groups = cfg.n_groups as usize;
+    let mut registry: BTreeMap<MsgId, DestSet> = BTreeMap::new();
+    let mut replica_logs: Vec<Vec<Vec<MsgId>>> = vec![Vec::new(); n_groups];
+    let mut latency = Summary::new();
+    let mut first_ack = Summary::new();
+    let mut completed = 0u64;
+    let mut issued = 0usize;
+
+    for pid in 0..world.len() {
+        match world.actor(pid) {
+            ReplNode::Replica(r) => {
+                replica_logs[r.node.index()].push(r.state().delivery_log().to_vec());
+            }
+            ReplNode::Client(c) => {
+                registry.extend(c.issued.iter().copied());
+                issued += c.issued.len();
+                completed += c.completed;
+                for &ms in &c.completion_ms {
+                    latency.record(ms);
+                }
+                for &ms in &c.first_ack_ms {
+                    first_ack.record(ms);
+                }
+            }
+        }
+    }
+
+    // Per-group delivery order: the most advanced replica's log. Lockstep
+    // (checked below) guarantees every other log is a prefix of it.
+    let mut trace: Vec<Vec<DeliveryEvent>> = Vec::with_capacity(n_groups);
+    for (g, logs) in replica_logs.iter().enumerate() {
+        let node = GroupId(g as u16);
+        let longest = logs.iter().max_by_key(|l| l.len());
+        trace.push(
+            longest
+                .map(|log| {
+                    log.iter()
+                        .map(|&id| DeliveryEvent {
+                            node,
+                            id,
+                            at: SimTime::ZERO,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+        );
+    }
+
+    let mut check = checker::check(&registry, &trace);
+    check.lockstep_violations = checker::check_lockstep(&replica_logs);
+
+    ReplicatedResult {
+        check,
+        completed,
+        issued,
+        availability: if issued == 0 {
+            1.0
+        } else {
+            completed as f64 / issued as f64
+        },
+        latency,
+        first_ack,
+        trace,
+        replica_logs,
+        events: world.processed_events(),
+        dropped: world.dropped_messages(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcast_overlay::LatencyMatrix;
+
+    fn matrix(n: usize) -> LatencyMatrix {
+        let mut m = LatencyMatrix::zero(n);
+        for a in 0..n {
+            m.set_local(a, 0.5);
+            for b in (a + 1)..n {
+                m.set_rtt(a, b, 20.0 + 10.0 * ((a + b) % 3) as f64);
+            }
+        }
+        m
+    }
+
+    fn run_clean(n_groups: u16, rf: u32, seed: u64) -> ReplicatedResult {
+        let cfg = ReplicatedConfig::small(n_groups, rf, seed);
+        let m = matrix(n_groups as usize);
+        let mut world = build_world(&cfg, &m);
+        world.run_to_quiescence(20_000_000);
+        collect(&cfg, &world)
+    }
+
+    #[test]
+    fn fault_free_replicated_run_is_clean() {
+        let r = run_clean(3, 3, 7);
+        r.check.assert_ok();
+        assert_eq!(r.completed as usize, r.issued);
+        assert_eq!(r.availability, 1.0);
+        assert!(!r.latency.is_empty());
+    }
+
+    #[test]
+    fn single_replica_groups_degenerate_to_unreplicated() {
+        let r = run_clean(4, 1, 3);
+        r.check.assert_ok();
+        assert_eq!(r.availability, 1.0);
+    }
+
+    #[test]
+    fn five_way_replication_still_agrees() {
+        let r = run_clean(3, 5, 11);
+        r.check.assert_ok();
+        assert_eq!(r.availability, 1.0);
+        for logs in &r.replica_logs {
+            assert_eq!(logs.len(), 5);
+        }
+    }
+
+    #[test]
+    fn replicated_runs_are_deterministic() {
+        let a = run_clean(3, 3, 42);
+        let b = run_clean(3, 3, 42);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.completed, b.completed);
+        let ta: Vec<Vec<MsgId>> = a
+            .trace
+            .iter()
+            .map(|t| t.iter().map(|e| e.id).collect())
+            .collect();
+        let tb: Vec<Vec<MsgId>> = b
+            .trace
+            .iter()
+            .map(|t| t.iter().map(|e| e.id).collect())
+            .collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn pid_layout_roundtrips() {
+        assert_eq!(replica_pid(GroupId(2), 1, 3), 7);
+        assert_eq!(group_of(7, 3), GroupId(2));
+        assert_eq!(replica_of(7, 3), 1);
+        assert_eq!(client_pid(4, 3, ClientId(2)), 14);
+    }
+}

@@ -29,14 +29,27 @@ pub type Incoming = (GroupId, Vec<u8>);
 /// channel consumed via [`NodeRuntime::recv_timeout`], so the caller can
 /// run its protocol engine single-threaded — matching the engines'
 /// deterministic, sans-io design.
+///
+/// Shutdown is complete, not best-effort: `Drop` closes every writer
+/// channel, shuts down every tracked connection (unblocking its reader),
+/// nudges the acceptor out of `accept`, and joins all threads. Nothing is
+/// detached, so dropping a runtime cannot leak a blocked thread.
 pub struct NodeRuntime {
     id: GroupId,
     addr: SocketAddr,
     incoming_rx: Receiver<Incoming>,
     /// Writer channels per peer.
     outgoing: Arc<Mutex<HashMap<GroupId, Sender<Vec<u8>>>>>,
-    /// Keep thread handles so Drop can detach cleanly.
-    _threads: Vec<JoinHandle<()>>,
+    /// The acceptor thread, joined on drop after a wake-up nudge.
+    acceptor: Option<JoinHandle<()>>,
+    /// One writer thread per outbound connection.
+    writers: Vec<JoinHandle<()>>,
+    /// One reader thread per inbound connection (shared with the acceptor,
+    /// which spawns them).
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Stream clones for every tracked connection; shut down on drop to
+    /// unblock readers (and writers) parked in blocking I/O.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
     shutdown: Arc<std::sync::atomic::AtomicBool>,
 }
 
@@ -48,19 +61,30 @@ impl NodeRuntime {
         let local = listener.local_addr()?;
         let (in_tx, in_rx) = unbounded::<Incoming>();
         let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
 
         let acceptor_tx = in_tx.clone();
         let stop = shutdown.clone();
+        let reader_handles = readers.clone();
+        let conn_registry = conns.clone();
         let acceptor = std::thread::spawn(move || {
             for stream in listener.incoming() {
+                // The flag is checked the moment `accept` returns: the
+                // shutdown nudge connection trips it without ever being
+                // served, so no reader is spawned for it.
                 if stop.load(std::sync::atomic::Ordering::Relaxed) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                if let Ok(clone) = stream.try_clone() {
+                    conn_registry.lock().push(clone);
+                }
                 let tx = acceptor_tx.clone();
-                std::thread::spawn(move || {
+                let handle = std::thread::spawn(move || {
                     let _ = reader_loop(stream, tx);
                 });
+                reader_handles.lock().push(handle);
             }
         });
 
@@ -69,7 +93,10 @@ impl NodeRuntime {
             addr: local,
             incoming_rx: in_rx,
             outgoing: Arc::new(Mutex::new(HashMap::new())),
-            _threads: vec![acceptor],
+            acceptor: Some(acceptor),
+            writers: Vec::new(),
+            readers,
+            conns,
             shutdown,
         })
     }
@@ -97,6 +124,9 @@ impl NodeRuntime {
 
         let (tx, rx) = unbounded::<Vec<u8>>();
         self.outgoing.lock().insert(peer, tx);
+        if let Ok(clone) = stream.try_clone() {
+            self.conns.lock().push(clone);
+        }
         let writer = std::thread::spawn(move || {
             for body in rx.iter() {
                 if write_frame(&mut stream, &body).is_err() {
@@ -104,7 +134,7 @@ impl NodeRuntime {
                 }
             }
         });
-        self._threads.push(writer);
+        self.writers.push(writer);
         Ok(())
     }
 
@@ -134,8 +164,38 @@ impl Drop for NodeRuntime {
     fn drop(&mut self) {
         self.shutdown
             .store(true, std::sync::atomic::Ordering::Relaxed);
-        // Nudge the acceptor out of `incoming()` by dialing ourselves.
-        let _ = TcpStream::connect(self.addr);
+        // Close every writer channel: writer threads drain and exit.
+        self.outgoing.lock().clear();
+        // Shut down every tracked connection: readers blocked in
+        // `read_frame` (and writers mid-write) return immediately.
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        // Nudge the acceptor out of `accept` by dialing ourselves; the
+        // nudge connection trips the flag check and is never served. Only
+        // join if the nudge landed — if the dial failed the acceptor may
+        // still be parked, and detaching beats deadlocking the caller.
+        let nudged = TcpStream::connect(self.addr).is_ok();
+        if let Some(acceptor) = self.acceptor.take() {
+            if nudged {
+                let _ = acceptor.join();
+            }
+        }
+        for writer in self.writers.drain(..) {
+            let _ = writer.join();
+        }
+        // The acceptor may have accepted one last connection concurrently
+        // with the first drain (registered after we shut the others down);
+        // close any such stragglers before joining readers.
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        // The acceptor has exited (or been abandoned): no new readers can
+        // appear, so draining the list now joins every reader there is.
+        let readers = std::mem::take(&mut *self.readers.lock());
+        for reader in readers {
+            let _ = reader.join();
+        }
     }
 }
 
@@ -199,6 +259,19 @@ mod tests {
     fn recv_timeout_expires() {
         let a = ephemeral(0);
         assert!(a.recv_timeout(Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_with_live_connections() {
+        // Drop joins every thread: a hang here (readers parked in
+        // read_frame, acceptor parked in accept) fails the test run.
+        let mut a = ephemeral(0);
+        let b = ephemeral(1);
+        a.connect(GroupId(1), b.local_addr()).unwrap();
+        a.send(GroupId(1), b"live".to_vec()).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(5)).is_some());
+        drop(b); // inbound side first: readers + acceptor
+        drop(a); // outbound side: writer + acceptor
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Per-link fault models for chaos experiments.
+//!
+//! The baseline [`World`](crate::World) implements the paper's §2.1 channel
+//! assumptions: reliable FIFO links and crash-stop processes. Fault
+//! injection deliberately breaks those assumptions on selected links so the
+//! fault-tolerance layer (Paxos-replicated groups, retry/repair timers) can
+//! be exercised: messages may be dropped, duplicated, delivered out of
+//! order, or delayed by a spike. All sampling uses the world's seeded RNG,
+//! so a faulty run is exactly as reproducible as a clean one.
+//!
+//! A [`LinkFault`] applies to one *directed* link `(from, to)`; symmetric
+//! faults are two entries. Partitions (total loss) are modelled separately
+//! as blocked links — see [`World::block_link`](crate::World::block_link) —
+//! because they carry no randomness and are cheaper to test for.
+
+use crate::SimTime;
+
+/// Probabilistic fault configuration for one directed link.
+///
+/// The zero value ([`LinkFault::NONE`]) is a fully healthy link; fields
+/// compose independently (a link can both drop and duplicate).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct LinkFault {
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop: f64,
+    /// Probability in `[0, 1]` that a message is delivered twice (the
+    /// duplicate samples its own delay and ignores FIFO clamping).
+    pub dup: f64,
+    /// Probability in `[0, 1]` that a message skips the FIFO clamp and may
+    /// overtake earlier messages on the same link.
+    pub reorder: f64,
+    /// Extra one-way delay added to every message (a latency spike).
+    pub extra_delay: SimTime,
+}
+
+impl LinkFault {
+    /// A healthy link: no drops, duplicates, reordering, or extra delay.
+    pub const NONE: LinkFault = LinkFault {
+        drop: 0.0,
+        dup: 0.0,
+        reorder: 0.0,
+        extra_delay: SimTime::ZERO,
+    };
+
+    /// A drop-only fault.
+    pub fn dropping(p: f64) -> Self {
+        LinkFault {
+            drop: p,
+            ..Self::NONE
+        }
+    }
+
+    /// A latency spike of `ms` milliseconds.
+    pub fn spike_ms(ms: f64) -> Self {
+        LinkFault {
+            extra_delay: SimTime::from_ms(ms),
+            ..Self::NONE
+        }
+    }
+
+    /// True if this fault does nothing (removing it is equivalent).
+    pub fn is_none(&self) -> bool {
+        *self == Self::NONE
+    }
+
+    /// Validates probabilities; panics on out-of-range values.
+    pub(crate) fn validate(&self) {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("dup", self.dup),
+            ("reorder", self.reorder),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p) && p.is_finite(),
+                "{name} probability {p} outside [0, 1]"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(LinkFault::NONE.is_none());
+        assert!(LinkFault::default().is_none());
+        assert!(!LinkFault::dropping(0.5).is_none());
+        assert!(!LinkFault::spike_ms(10.0).is_none());
+    }
+
+    #[test]
+    fn constructors_set_one_axis() {
+        let d = LinkFault::dropping(0.3);
+        assert_eq!(d.drop, 0.3);
+        assert_eq!(d.dup, 0.0);
+        let s = LinkFault::spike_ms(25.0);
+        assert_eq!(s.extra_delay, SimTime::from_ms(25.0));
+        assert_eq!(s.drop, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn validate_rejects_bad_probability() {
+        LinkFault::dropping(1.5).validate();
+    }
+}

@@ -16,11 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod link;
 pub mod stats;
 pub mod time;
 pub mod world;
 
+pub use fault::LinkFault;
 pub use link::LinkModel;
 pub use stats::Summary;
 pub use time::SimTime;

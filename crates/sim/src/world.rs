@@ -1,10 +1,10 @@
 //! The simulation world: actors, event queue, and FIFO links.
 
-use crate::{LinkModel, SimTime};
+use crate::{LinkFault, LinkModel, SimTime};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Identifier of a simulated process (index into the actor table).
 pub type ProcessId = usize;
@@ -85,6 +85,13 @@ enum Event<M> {
 ///   monotone per link), matching the paper's FIFO reliable channels.
 /// * **Reliability** — messages to *up* processes are never lost; messages
 ///   to crashed processes are silently dropped (crash-stop model).
+///
+/// All of the above can be selectively broken for chaos experiments: links
+/// can be blocked (partitions, [`World::block_link`]) or given a
+/// probabilistic [`LinkFault`] (drop/duplicate/reorder/latency spike,
+/// [`World::set_link_fault`]). Fault sampling draws from the same seeded
+/// RNG as jitter, and only on faulty links, so fault-free runs replay
+/// byte-identically with or without the fault machinery.
 pub struct World<M, A: Actor<M>> {
     actors: Vec<A>,
     link: LinkModel,
@@ -97,12 +104,18 @@ pub struct World<M, A: Actor<M>> {
     /// service model; see [`LinkModel::set_service_ms`]).
     busy_until: Vec<SimTime>,
     down: Vec<bool>,
+    /// Directed links currently severed by a partition (lookup only, so
+    /// the unordered set does not affect determinism).
+    blocked: HashSet<(ProcessId, ProcessId)>,
+    /// Probabilistic faults per directed link (lookup only).
+    faults: HashMap<(ProcessId, ProcessId), LinkFault>,
     rng: StdRng,
     delivered_events: u64,
     sent_messages: u64,
+    dropped_messages: u64,
 }
 
-impl<M, A: Actor<M>> World<M, A> {
+impl<M: Clone, A: Actor<M>> World<M, A> {
     /// Creates a world over `actors` with the given link model and RNG seed.
     ///
     /// # Panics
@@ -125,9 +138,12 @@ impl<M, A: Actor<M>> World<M, A> {
             last_arrival: HashMap::new(),
             busy_until: vec![SimTime::ZERO; n],
             down: vec![false; n],
+            blocked: HashSet::new(),
+            faults: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
             delivered_events: 0,
             sent_messages: 0,
+            dropped_messages: 0,
         };
         for pid in 0..n {
             w.push(SimTime::ZERO, Event::Start { pid });
@@ -178,11 +194,86 @@ impl<M, A: Actor<M>> World<M, A> {
         self.delivered_events
     }
 
+    /// Messages lost to partitions, link faults, or crashed destinations.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+
     /// Marks a process as crashed (messages to it are dropped) or back up.
     /// Crash-stop with restart is all the SMR substrate needs: a restarted
-    /// replica rejoins with its pre-crash state intact.
+    /// replica rejoins with its pre-crash state intact. Bringing a crashed
+    /// process back up re-enqueues its [`Actor::on_start`] at the current
+    /// time — the restart hook a recovering replica uses to re-arm timers
+    /// that were dropped while it was down.
     pub fn set_down(&mut self, pid: ProcessId, down: bool) {
+        let was_down = self.down[pid];
         self.down[pid] = down;
+        if was_down && !down {
+            self.push(self.now, Event::Start { pid });
+        }
+    }
+
+    /// Severs the directed link `from → to`: every message sent on it is
+    /// dropped until [`World::unblock_link`]. Building block for symmetric
+    /// and asymmetric partitions.
+    pub fn block_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Restores a severed link.
+    pub fn unblock_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.blocked.remove(&(from, to));
+    }
+
+    /// True if the directed link is currently severed.
+    pub fn is_blocked(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.blocked.contains(&(from, to))
+    }
+
+    /// Symmetric partition: severs every link between the `a` side and the
+    /// `b` side, in both directions. Links within each side are untouched.
+    pub fn partition(&mut self, a: &[ProcessId], b: &[ProcessId]) {
+        for &x in a {
+            for &y in b {
+                self.block_link(x, y);
+                self.block_link(y, x);
+            }
+        }
+    }
+
+    /// Heals a symmetric partition created by [`World::partition`].
+    pub fn heal(&mut self, a: &[ProcessId], b: &[ProcessId]) {
+        for &x in a {
+            for &y in b {
+                self.unblock_link(x, y);
+                self.unblock_link(y, x);
+            }
+        }
+    }
+
+    /// Installs (or replaces) a probabilistic fault on the directed link
+    /// `from → to`. A [`LinkFault::is_none`] fault clears the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability lies outside `[0, 1]`.
+    pub fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: LinkFault) {
+        fault.validate();
+        if fault.is_none() {
+            self.faults.remove(&(from, to));
+        } else {
+            self.faults.insert((from, to), fault);
+        }
+    }
+
+    /// The fault currently installed on a link, if any.
+    pub fn link_fault(&self, from: ProcessId, to: ProcessId) -> Option<LinkFault> {
+        self.faults.get(&(from, to)).copied()
+    }
+
+    /// Removes every probabilistic link fault (partitions are unaffected).
+    pub fn clear_link_faults(&mut self) {
+        self.faults.clear();
     }
 
     /// True if the process is currently crashed.
@@ -191,20 +282,64 @@ impl<M, A: Actor<M>> World<M, A> {
     }
 
     /// Injects a message from the outside world (e.g. a test harness acting
-    /// as a client that is not itself simulated).
+    /// as a client that is not itself simulated). Subject to partitions and
+    /// link faults like any other send.
     pub fn inject(&mut self, from: ProcessId, to: ProcessId, msg: M) {
-        let at = self.arrival_time(from, to);
-        self.push(at, Event::Deliver { from, to, msg });
-        self.sent_messages += 1;
+        self.route_send(from, to, msg);
     }
 
-    fn arrival_time(&mut self, from: ProcessId, to: ProcessId) -> SimTime {
-        let delay = self.link.sample_delay(from, to, &mut self.rng);
+    /// Applies partitions and link faults to one send, scheduling zero, one,
+    /// or two delivery events.
+    fn route_send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        self.sent_messages += 1;
+        if self.blocked.contains(&(from, to)) {
+            self.dropped_messages += 1;
+            return;
+        }
+        let fault = self.faults.get(&(from, to)).copied();
+        if let Some(f) = fault {
+            if f.drop > 0.0 && self.rng.random::<f64>() < f.drop {
+                self.dropped_messages += 1;
+                return;
+            }
+            if f.dup > 0.0 && self.rng.random::<f64>() < f.dup {
+                let at = self.arrival_time(from, to, Some(f));
+                self.sent_messages += 1;
+                self.push(
+                    at,
+                    Event::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+        }
+        let at = self.arrival_time(from, to, fault);
+        self.push(at, Event::Deliver { from, to, msg });
+    }
+
+    fn arrival_time(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        fault: Option<LinkFault>,
+    ) -> SimTime {
+        let mut delay = self.link.sample_delay(from, to, &mut self.rng);
+        let mut reordered = false;
+        if let Some(f) = fault {
+            delay += f.extra_delay;
+            reordered = f.reorder > 0.0 && self.rng.random::<f64>() < f.reorder;
+        }
         let mut at = self.now + delay;
-        // FIFO clamp: never deliver before an earlier message on this link.
-        if let Some(&last) = self.last_arrival.get(&(from, to)) {
-            if at < last {
-                at = last;
+        // FIFO clamp: never deliver before an earlier message on this link
+        // — unless the link's reorder fault fires, in which case the
+        // message may overtake (and does not advance the clamp either).
+        if !reordered {
+            if let Some(&last) = self.last_arrival.get(&(from, to)) {
+                if at < last {
+                    at = last;
+                }
             }
         }
         // Serial service: the receiver handles one message at a time, each
@@ -214,7 +349,9 @@ impl<M, A: Actor<M>> World<M, A> {
             at = at.max(self.busy_until[to]) + svc;
             self.busy_until[to] = at;
         }
-        self.last_arrival.insert((from, to), at);
+        if !reordered {
+            self.last_arrival.insert((from, to), at);
+        }
         at
     }
 
@@ -246,7 +383,9 @@ impl<M, A: Actor<M>> World<M, A> {
                 }
             }
             Event::Deliver { from, to, msg } => {
-                if !self.down[to] {
+                if self.down[to] {
+                    self.dropped_messages += 1;
+                } else {
                     let mut ctx = Ctx {
                         now: self.now,
                         me: to,
@@ -275,16 +414,17 @@ impl<M, A: Actor<M>> World<M, A> {
 
     fn apply(&mut self, pid: ProcessId, sends: Vec<(ProcessId, M)>, timers: Vec<(SimTime, u64)>) {
         for (to, msg) in sends {
-            let at = self.arrival_time(pid, to);
-            self.push(at, Event::Deliver { from: pid, to, msg });
-            self.sent_messages += 1;
+            self.route_send(pid, to, msg);
         }
         for (at, token) in timers {
             self.push(at, Event::Timer { pid, token });
         }
     }
 
-    /// Runs until the queue drains or simulated time exceeds `deadline`.
+    /// Runs until the queue drains or simulated time exceeds `deadline`,
+    /// then advances the clock to `deadline` (so anything scheduled next —
+    /// a fault event, an injected message, a restart — happens at the
+    /// right simulated time even if the world went idle earlier).
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
@@ -295,7 +435,7 @@ impl<M, A: Actor<M>> World<M, A> {
             self.step();
             n += 1;
         }
-        self.now = self.now.max(deadline.min(self.now + SimTime::ZERO));
+        self.now = self.now.max(deadline);
         n
     }
 
@@ -467,6 +607,155 @@ mod tests {
         assert_eq!(times[0], 110.0);
         // Second ping arrives at 50 but waits for the server: 70 + 50.
         assert_eq!(times[1], 120.0);
+    }
+
+    #[test]
+    fn blocked_link_drops_until_healed() {
+        let a = Echo {
+            initial: vec![(1, 1)],
+            ..Default::default()
+        };
+        let mut w = two_site_world(vec![a, Echo::default()], 0.0);
+        w.partition(&[0], &[1]);
+        assert!(w.is_blocked(0, 1) && w.is_blocked(1, 0));
+        w.run_to_quiescence(100);
+        assert!(w.actor(0).got.is_empty());
+        assert_eq!(w.dropped_messages(), 1);
+
+        // Healed: a re-injected ping flows again.
+        w.heal(&[0], &[1]);
+        w.inject(0, 1, Msg::Ping(2));
+        w.run_to_quiescence(100);
+        assert_eq!(w.actor(0).got.len(), 1);
+    }
+
+    #[test]
+    fn drop_fault_loses_messages() {
+        let a = Echo {
+            initial: vec![(1, 1)],
+            ..Default::default()
+        };
+        let mut w = two_site_world(vec![a, Echo::default()], 0.0);
+        w.set_link_fault(0, 1, LinkFault::dropping(1.0));
+        w.run_to_quiescence(100);
+        assert!(w.actor(0).got.is_empty(), "ping dropped on the way out");
+        assert_eq!(w.dropped_messages(), 1);
+        // Clearing restores the reliable link.
+        w.set_link_fault(0, 1, LinkFault::NONE);
+        assert_eq!(w.link_fault(0, 1), None);
+        w.inject(0, 1, Msg::Ping(2));
+        w.run_to_quiescence(100);
+        assert_eq!(w.actor(0).got.len(), 1);
+    }
+
+    #[test]
+    fn dup_fault_duplicates_messages() {
+        let a = Echo {
+            initial: vec![(1, 7)],
+            ..Default::default()
+        };
+        let mut w = two_site_world(vec![a, Echo::default()], 0.0);
+        w.set_link_fault(
+            0,
+            1,
+            LinkFault {
+                dup: 1.0,
+                ..LinkFault::NONE
+            },
+        );
+        w.run_to_quiescence(100);
+        // The ping arrives twice, so two pongs come back.
+        assert_eq!(w.actor(0).got.len(), 2);
+        assert!(w.actor(0).got.iter().all(|&(_, k, _)| k == 7));
+    }
+
+    #[test]
+    fn spike_fault_delays_messages() {
+        let a = Echo {
+            initial: vec![(1, 1)],
+            ..Default::default()
+        };
+        let mut w = two_site_world(vec![a, Echo::default()], 0.0);
+        w.set_link_fault(0, 1, LinkFault::spike_ms(40.0));
+        w.run_to_quiescence(100);
+        let got = &w.actor(0).got;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].2, SimTime::from_ms(140.0), "one RTT + 40 ms spike");
+    }
+
+    #[test]
+    fn reorder_fault_breaks_fifo_deterministically() {
+        let mk = |faulty: bool| {
+            let a = Echo {
+                initial: (0..50).map(|k| (1usize, k)).collect(),
+                ..Default::default()
+            };
+            let mut w = two_site_world(vec![a, Echo::default()], 30.0);
+            if faulty {
+                w.set_link_fault(
+                    0,
+                    1,
+                    LinkFault {
+                        reorder: 1.0,
+                        ..LinkFault::NONE
+                    },
+                );
+            }
+            w.run_to_quiescence(10_000);
+            w.actor(0)
+                .got
+                .iter()
+                .map(|&(_, k, _)| k)
+                .collect::<Vec<i32>>()
+        };
+        let clean = mk(false);
+        assert_eq!(clean, (0..50).collect::<Vec<_>>(), "clean link is FIFO");
+        let shuffled = mk(true);
+        assert_ne!(shuffled, clean, "reorder fault lets messages overtake");
+        let mut sorted = shuffled.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, clean, "no loss, only reordering");
+        assert_eq!(mk(true), shuffled, "same seed, same shuffle");
+    }
+
+    #[test]
+    fn run_until_advances_the_clock_past_quiescence() {
+        // The world quiesces at 100 ms; a later run_until must still move
+        // the clock so follow-up actions (fault events, restarts) happen
+        // at the scheduled time, not at the stale quiescence time.
+        let a = Echo {
+            initial: vec![(1, 1)],
+            ..Default::default()
+        };
+        let mut w = two_site_world(vec![a, Echo::default()], 0.0);
+        w.run_until(SimTime::from_ms(500.0));
+        assert_eq!(w.now(), SimTime::from_ms(500.0));
+        // A restart after idle time starts at the advanced clock.
+        w.set_down(0, true);
+        w.set_down(0, false);
+        w.run_to_quiescence(100);
+        let re_pong = w.actor(0).got.last().copied().unwrap();
+        assert_eq!(re_pong.2, SimTime::from_ms(600.0), "500 ms idle + 1 RTT");
+    }
+
+    #[test]
+    fn recovery_reinvokes_on_start() {
+        // Echo's on_start re-sends its initial pings, so a crash+recover
+        // of actor 0 produces a second round of pongs.
+        let a = Echo {
+            initial: vec![(1, 3)],
+            ..Default::default()
+        };
+        let mut w = two_site_world(vec![a, Echo::default()], 0.0);
+        w.run_to_quiescence(100);
+        assert_eq!(w.actor(0).got.len(), 1);
+        w.set_down(0, true);
+        w.set_down(0, false);
+        w.run_to_quiescence(100);
+        assert_eq!(w.actor(0).got.len(), 2, "restart hook re-ran on_start");
+        // Bringing an already-up process "up" is a no-op.
+        w.set_down(0, false);
+        assert_eq!(w.run_to_quiescence(100), 0);
     }
 
     #[test]

@@ -95,6 +95,17 @@ impl<E, I: Clone + PartialEq> ReplicatedGroup<E, I> {
         self.drain(paxos_out, out);
     }
 
+    /// Periodic repair: leaders re-drive stuck slots and heartbeat the
+    /// newest commit; followers request gap-fills for lost `Learn`s. All
+    /// resulting traffic is idempotent — drive this from a timer whenever
+    /// the group runs over a lossy or partitionable network.
+    pub fn tick_repair(&mut self, out: &mut Vec<GroupEffect<I>>) {
+        let mut paxos_out = Vec::new();
+        self.replica.repair(&mut paxos_out);
+        self.replica.request_missing(&mut paxos_out);
+        self.drain(paxos_out, out);
+    }
+
     fn drain(&mut self, paxos_out: Vec<SmrOutput<I>>, out: &mut Vec<GroupEffect<I>>) {
         for o in paxos_out {
             if let SmrOutput::Send { to, msg } = o {

@@ -74,6 +74,13 @@ pub enum PaxosMsg<C> {
         /// The committed command.
         cmd: C,
     },
+    /// Gap-fill request: the sender is missing commits at or above
+    /// `from_slot` and asks the receiver to re-send its `Learn`s. Used by
+    /// the repair path after message loss (partitions, crashed leaders).
+    LearnReq {
+        /// First slot the requester is missing.
+        from_slot: u64,
+    },
 }
 
 /// An action produced by a replica.
@@ -364,6 +371,101 @@ impl<C: Clone + PartialEq> Replica<C> {
                     out.push(SmrOutput::Committed { slot, cmd });
                 }
             }
+            PaxosMsg::LearnReq { from_slot } => {
+                for (&slot, cmd) in self.committed.range(from_slot..) {
+                    out.push(SmrOutput::Send {
+                        to: from,
+                        msg: PaxosMsg::Learn {
+                            slot,
+                            cmd: cmd.clone(),
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Leader repair tick: re-sends `Accept` for every accepted-but-
+    /// uncommitted slot (recovering phase-2 traffic lost to drops or
+    /// partitions) and `Learn` for the newest committed slot (which doubles
+    /// as a liveness heartbeat for follower failure detectors). All
+    /// messages are idempotent; drive this from a periodic timer. No-op on
+    /// non-leaders.
+    pub fn repair(&mut self, out: &mut Vec<SmrOutput<C>>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let stuck: Vec<(u64, C)> = self
+            .accepted
+            .iter()
+            .filter(|(slot, _)| !self.committed.contains_key(slot))
+            .map(|(&slot, (_, cmd))| (slot, cmd.clone()))
+            .collect();
+        for (slot, cmd) in stuck {
+            self.tally.entry(slot).or_default().insert(self.id);
+            for p in self.peers().collect::<Vec<_>>() {
+                out.push(SmrOutput::Send {
+                    to: p,
+                    msg: PaxosMsg::Accept {
+                        ballot: self.my_ballot,
+                        slot,
+                        cmd: cmd.clone(),
+                    },
+                });
+            }
+        }
+        if let Some((&slot, cmd)) = self.committed.iter().next_back() {
+            let cmd = cmd.clone();
+            for p in self.peers().collect::<Vec<_>>() {
+                out.push(SmrOutput::Send {
+                    to: p,
+                    msg: PaxosMsg::Learn {
+                        slot,
+                        cmd: cmd.clone(),
+                    },
+                });
+                // The Accept re-asserts this leader's ballot: a deposed
+                // leader that rejoins after a partition sees it and steps
+                // down, where a Learn alone would leave it stale.
+                out.push(SmrOutput::Send {
+                    to: p,
+                    msg: PaxosMsg::Accept {
+                        ballot: self.my_ballot,
+                        slot,
+                        cmd: cmd.clone(),
+                    },
+                });
+            }
+        }
+    }
+
+    /// Follower repair tick: if the committed log has a gap below its
+    /// highest committed slot (a `Learn` was lost), asks the likely leader
+    /// — the owner of the highest promised ballot, or every peer when that
+    /// is this replica itself — to re-send the missing commits.
+    pub fn request_missing(&mut self, out: &mut Vec<SmrOutput<C>>) {
+        if self.committed.contains_key(&self.apply_at) {
+            return; // the application cursor is not blocked on a gap
+        }
+        let Some(&max) = self.committed.keys().next_back() else {
+            return;
+        };
+        if max < self.apply_at {
+            return;
+        }
+        let msg = PaxosMsg::LearnReq {
+            from_slot: self.apply_at,
+        };
+        let owner = self.promised.owner;
+        if owner != self.id {
+            out.push(SmrOutput::Send { to: owner, msg });
+        } else {
+            for p in self.peers().collect::<Vec<_>>() {
+                out.push(SmrOutput::Send {
+                    to: p,
+                    msg: msg.clone(),
+                });
+            }
         }
     }
 
@@ -579,6 +681,103 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn repair_redrives_stuck_slots() {
+        let mut rs = cluster(3);
+        let mut net = Net::new(3, 0.0, 0.0);
+        elect(0, &mut rs, &mut net);
+        // Propose, but lose every outgoing message: the slot is stuck
+        // accepted-but-uncommitted at the leader.
+        let mut outs = Vec::new();
+        rs[0].propose(7, &mut outs);
+        drop(outs);
+        assert_eq!(rs[0].take_committed(), Vec::<Cmd>::new());
+
+        // A repair tick re-sends the Accept (and heartbeats nothing —
+        // no commit yet); the cluster then converges normally.
+        let mut outs = Vec::new();
+        rs[0].repair(&mut outs);
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            SmrOutput::Send {
+                msg: PaxosMsg::Accept { cmd: 7, .. },
+                ..
+            }
+        )));
+        net.push_outputs(0, outs);
+        net.run(&mut rs);
+        for r in &mut rs {
+            assert_eq!(r.take_committed(), vec![7], "replica {}", r.id());
+        }
+    }
+
+    #[test]
+    fn gap_fill_recovers_lost_learns() {
+        let mut rs = cluster(3);
+        let mut net = Net::new(4, 0.0, 0.0);
+        elect(0, &mut rs, &mut net);
+        for v in [1, 2, 3] {
+            let mut outs = Vec::new();
+            rs[0].propose(v, &mut outs);
+            net.push_outputs(0, outs);
+        }
+        net.run(&mut rs);
+        // Simulate a lost Learn: replica 1 forgets slot 1 by rebuilding a
+        // fresh replica that only saw Learns for slots 0 and 2.
+        let mut r1 = Replica::<Cmd>::new(1, 3);
+        let mut sink = Vec::new();
+        r1.on_message(0, PaxosMsg::Learn { slot: 0, cmd: 1 }, &mut sink);
+        r1.on_message(0, PaxosMsg::Learn { slot: 2, cmd: 3 }, &mut sink);
+        assert_eq!(r1.take_committed(), vec![1], "stuck at the gap");
+
+        // Repair: the gap is detected and a LearnReq goes to the leader...
+        let mut req = Vec::new();
+        r1.request_missing(&mut req);
+        let [SmrOutput::Send { to, msg }] = &req[..] else {
+            panic!("expected one LearnReq, got {req:?}");
+        };
+        assert!(matches!(msg, PaxosMsg::LearnReq { from_slot: 1 }));
+        // ...which answers with every commit from that slot on.
+        let mut reply = Vec::new();
+        rs[*to as usize].on_message(1, msg.clone(), &mut reply);
+        for o in reply {
+            if let SmrOutput::Send { to: 1, msg } = o {
+                r1.on_message(0, msg, &mut sink);
+            }
+        }
+        assert_eq!(r1.take_committed(), vec![2, 3], "gap filled in order");
+    }
+
+    #[test]
+    fn repair_heartbeats_latest_commit() {
+        let mut rs = cluster(3);
+        let mut net = Net::new(5, 0.0, 0.0);
+        elect(0, &mut rs, &mut net);
+        let mut outs = Vec::new();
+        rs[0].propose(9, &mut outs);
+        net.push_outputs(0, outs);
+        net.run(&mut rs);
+        let mut hb = Vec::new();
+        rs[0].repair(&mut hb);
+        let learns = hb
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    SmrOutput::Send {
+                        msg: PaxosMsg::Learn { cmd: 9, .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(learns, 2, "one Learn heartbeat per peer");
+        // Followers never repair-broadcast.
+        let mut f = Vec::new();
+        rs[1].repair(&mut f);
+        assert!(f.is_empty());
     }
 
     #[test]

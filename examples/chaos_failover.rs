@@ -1,0 +1,113 @@
+//! Chaos failover walkthrough: a replicated FlexCast deployment survives
+//! a scripted leader crash and a WAN partition, deterministically.
+//!
+//! Three FlexCast groups, each a quorum of three Paxos replicas, serve a
+//! closed-loop multicast workload while a `flexcast-chaos` schedule (1)
+//! crashes group 0's Paxos leader mid-multicast and (2) cuts group 1 off
+//! from group 2 for over a second. The run must complete every multicast
+//! with zero safety violations, replay event-for-event from the same
+//! seed, and demonstrate engine state transfer via snapshot/restore.
+//!
+//! ```sh
+//! cargo run --release --example chaos_failover
+//! ```
+
+use flexcast::chaos::{run_schedule, scenarios};
+use flexcast::core_protocol::FlexCastGroup;
+use flexcast::harness::replicated::{
+    build_world, collect, replica_pid, ReplNode, ReplicatedConfig, ReplicatedResult,
+};
+use flexcast::overlay::LatencyMatrix;
+use flexcast::sim::ProcessId;
+use flexcast::types::GroupId;
+
+fn matrix(n: usize) -> LatencyMatrix {
+    let mut m = LatencyMatrix::zero(n);
+    for a in 0..n {
+        m.set_local(a, 0.5);
+        for b in (a + 1)..n {
+            m.set_rtt(a, b, 24.0 + 8.0 * ((a * b) % 3) as f64);
+        }
+    }
+    m
+}
+
+fn run_once(cfg: &ReplicatedConfig, print: bool) -> (ReplicatedResult, Vec<u8>) {
+    let rf = cfg.rf;
+    let group1: Vec<ProcessId> = (0..rf).map(|r| replica_pid(GroupId(1), r, rf)).collect();
+    let group2: Vec<ProcessId> = (0..rf).map(|r| replica_pid(GroupId(2), r, rf)).collect();
+
+    // The schedule under test: kill group 0's initial leader at 120 ms
+    // (first multicasts still in flight), partition groups 1 and 2 from
+    // 400 ms to 1.6 s, bring the dead replica back at 1.8 s.
+    let schedule = scenarios::crash_recover(replica_pid(GroupId(0), 0, rf), 120.0, 1_680.0)
+        .merge(scenarios::wan_partition(&group1, &group2, 400.0, 1_200.0));
+
+    let m = matrix(cfg.n_groups as usize);
+    let mut world = build_world(cfg, &m);
+    run_schedule(&mut world, &schedule, 100_000_000);
+
+    // Who leads group 0 now? The crash must have moved leadership.
+    if print {
+        for r in 0..rf {
+            if let ReplNode::Replica(a) = world.actor(replica_pid(GroupId(0), r, rf)) {
+                if a.is_leader() {
+                    println!("  group 0 leadership failed over to replica {r}");
+                }
+            }
+        }
+    }
+
+    // Engine state transfer (§4.4): snapshot a survivor's engine and
+    // restore it — the restored copy is interchangeable.
+    let ReplNode::Replica(survivor) = world.actor(replica_pid(GroupId(0), 1, rf)) else {
+        unreachable!("pid layout puts replicas first");
+    };
+    let snap = survivor
+        .state()
+        .engine()
+        .snapshot()
+        .expect("engine snapshots encode");
+    let restored = FlexCastGroup::restore(&snap).expect("snapshots decode");
+    assert_eq!(
+        restored.delivered_count(),
+        survivor.state().engine().delivered_count()
+    );
+    if print {
+        println!(
+            "  snapshot/restore: {} bytes capture {} deliveries of group 0",
+            snap.len(),
+            restored.delivered_count()
+        );
+    }
+
+    (collect(cfg, &world), snap)
+}
+
+fn main() {
+    let cfg = ReplicatedConfig::small(3, 3, 5);
+    println!(
+        "chaos failover: {} groups × {} replicas, {} clients × {} multicasts",
+        cfg.n_groups, cfg.rf, cfg.n_clients, cfg.msgs_per_client
+    );
+    println!("  schedule: crash g0 leader @120ms (recover @1.8s), partition g1|g2 @400ms–1.6s");
+
+    let (a, snap_a) = run_once(&cfg, true);
+    a.check.assert_ok();
+    assert_eq!(a.completed as usize, a.issued);
+    println!(
+        "  run 1: {}/{} multicasts completed, {} messages dropped by faults, {} events",
+        a.completed, a.issued, a.dropped, a.events
+    );
+
+    let (b, snap_b) = run_once(&cfg, false);
+    assert_eq!(a.events, b.events, "same seed, same event count");
+    assert_eq!(a.replica_logs, b.replica_logs, "same seed, same logs");
+    assert_eq!(snap_a, snap_b, "same seed, byte-identical snapshots");
+    println!("  run 2: identical — deterministic under chaos");
+
+    println!(
+        "\nall multicasts delivered through a leader crash and a healed partition;\n\
+         integrity, prefix order, acyclic order, and replica lockstep all hold."
+    );
+}

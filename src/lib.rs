@@ -10,6 +10,7 @@
 //! * `cargo run --example quickstart` for a first tour.
 
 pub use flexcast_baselines as baselines;
+pub use flexcast_chaos as chaos;
 pub use flexcast_core as core_protocol;
 pub use flexcast_gtpcc as gtpcc;
 pub use flexcast_harness as harness;

@@ -1,0 +1,328 @@
+//! Property tests for the SMR substrate (paper §4.4): Paxos safety under
+//! arbitrary message loss, duplication, and reordering, and replica
+//! lockstep for `ReplicatedGroup<FlexCastGroup>` across seeded
+//! crash/recover schedules.
+
+use flexcast_core::{FlexCastGroup, Output, Packet};
+use flexcast_smr::{GroupEffect, PaxosMsg, Replica, ReplicatedGroup, SmrOutput};
+use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId, Payload};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------------
+// Part 1: bare Paxos — no two replicas ever commit different commands to
+// the same slot, no matter how hostile the network.
+// ---------------------------------------------------------------------------
+
+type Cmd = u32;
+
+/// A chaotic network: random delivery order, seeded drops and duplicates,
+/// crashed replicas black-holed.
+struct Net {
+    queue: Vec<(u32, u32, PaxosMsg<Cmd>)>,
+    rng: StdRng,
+    drop: f64,
+    dup: f64,
+    crashed: BTreeSet<u32>,
+    /// Every `Committed { slot, cmd }` each replica ever reported.
+    committed: Vec<BTreeMap<u64, Cmd>>,
+}
+
+impl Net {
+    fn new(n: usize, seed: u64, drop: f64, dup: f64) -> Self {
+        Net {
+            queue: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            drop,
+            dup,
+            crashed: BTreeSet::new(),
+            committed: vec![BTreeMap::new(); n],
+        }
+    }
+
+    fn absorb(&mut self, from: u32, outs: Vec<SmrOutput<Cmd>>) {
+        for o in outs {
+            match o {
+                SmrOutput::Send { to, msg } => {
+                    if self.rng.random::<f64>() < self.drop {
+                        continue;
+                    }
+                    self.queue.push((from, to, msg.clone()));
+                    if self.rng.random::<f64>() < self.dup {
+                        self.queue.push((from, to, msg));
+                    }
+                }
+                SmrOutput::Committed { slot, cmd } => {
+                    let prev = self.committed[from as usize].insert(slot, cmd);
+                    assert!(
+                        prev.is_none() || prev == Some(cmd),
+                        "replica {from} re-committed slot {slot} with a different command"
+                    );
+                }
+            }
+        }
+    }
+
+    fn run(&mut self, replicas: &mut [Replica<Cmd>]) {
+        let mut steps = 0u32;
+        while !self.queue.is_empty() {
+            steps += 1;
+            assert!(steps < 500_000, "no quiescence");
+            let i = self.rng.random_range(0..self.queue.len());
+            let (from, to, msg) = self.queue.swap_remove(i);
+            if self.crashed.contains(&to) {
+                continue;
+            }
+            let mut outs = Vec::new();
+            replicas[to as usize].on_message(from, msg, &mut outs);
+            self.absorb(to, outs);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Chaos Paxos: random elections, proposals through whichever replica,
+    /// drops, duplicates, reordering, and a crash — and still no slot is
+    /// ever committed with two different commands anywhere.
+    #[test]
+    fn paxos_never_commits_conflicting_commands(
+        seed in 0u64..10_000,
+        drop in 0.0f64..0.4,
+        dup in 0.0f64..0.4,
+        rounds in 1u32..5,
+    ) {
+        let n: u32 = 3;
+        let mut rs: Vec<Replica<Cmd>> = (0..n).map(|i| Replica::new(i, n)).collect();
+        let mut net = Net::new(n as usize, seed, drop, dup);
+        let mut driver = StdRng::seed_from_u64(seed ^ 0xD00D);
+        let mut next_cmd: Cmd = 0;
+
+        for round in 0..rounds {
+            // A (possibly already-leading) replica campaigns.
+            let cand = driver.random_range(0..n);
+            let mut outs = Vec::new();
+            rs[cand as usize].start_election(&mut outs);
+            net.absorb(cand, outs);
+            net.run(&mut rs);
+
+            // Crash one replica mid-test, once; recover it a round later.
+            if round == 1 {
+                net.crashed.insert(driver.random_range(0..n));
+            } else if round == 2 {
+                net.crashed.clear();
+            }
+
+            // Propose through arbitrary replicas (followers buffer and
+            // flush on later leadership — also a safety hazard to cover).
+            for _ in 0..driver.random_range(1..6u32) {
+                let via = driver.random_range(0..n);
+                let mut outs = Vec::new();
+                rs[via as usize].propose(next_cmd, &mut outs);
+                next_cmd += 1;
+                net.absorb(via, outs);
+            }
+            net.run(&mut rs);
+        }
+
+        // Agreement across replicas: any slot committed by two replicas
+        // carries the same command.
+        for a in 0..n as usize {
+            for b in (a + 1)..n as usize {
+                for (slot, cmd) in &net.committed[a] {
+                    if let Some(other) = net.committed[b].get(slot) {
+                        prop_assert_eq!(
+                            cmd, other,
+                            "slot {} diverged between replicas {} and {}", slot, a, b
+                        );
+                    }
+                }
+            }
+        }
+        // The applied prefixes are compatible, too.
+        let logs: Vec<Vec<Cmd>> = rs.iter_mut().map(|r| r.take_committed()).collect();
+        for a in &logs {
+            for b in &logs {
+                let k = a.len().min(b.len());
+                prop_assert_eq!(&a[..k], &b[..k]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: ReplicatedGroup<FlexCastGroup> — replicas applying the committed
+// log stay in lockstep across a seeded crash/recover schedule.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Debug)]
+enum GCmd {
+    Client(Message),
+    Peer(GroupId, Packet),
+}
+
+/// A FlexCast engine with a shadow delivery log for lockstep assertions.
+struct LoggedEngine {
+    engine: FlexCastGroup,
+    log: Vec<MsgId>,
+}
+
+fn apply(e: &mut LoggedEngine, cmd: GCmd, out: &mut Vec<GroupEffect<GCmd>>) {
+    let mut outputs = Vec::new();
+    match cmd {
+        GCmd::Client(m) => e.engine.on_client(m, &mut outputs),
+        GCmd::Peer(from, pkt) => e.engine.on_packet(from, pkt, &mut outputs),
+    }
+    for o in outputs {
+        match o {
+            Output::Deliver(m) => {
+                e.log.push(m.id);
+                out.push(GroupEffect::Engine(GCmd::Client(m)));
+            }
+            Output::Send { to, pkt } => out.push(GroupEffect::Engine(GCmd::Peer(to, pkt))),
+        }
+    }
+}
+
+type Cluster = Vec<ReplicatedGroup<LoggedEngine, GCmd>>;
+
+/// Routes replication traffic with seeded random ordering, dropping
+/// messages to crashed replicas.
+struct GroupNet {
+    queue: Vec<(u32, u32, PaxosMsg<GCmd>)>,
+    rng: StdRng,
+    crashed: BTreeSet<u32>,
+}
+
+impl GroupNet {
+    fn absorb(&mut self, from: u32, fx: Vec<GroupEffect<GCmd>>) {
+        for e in fx {
+            if let GroupEffect::Replication { to, msg } = e {
+                self.queue.push((from, to, msg));
+            }
+        }
+    }
+
+    fn run(&mut self, cluster: &mut Cluster) {
+        let mut steps = 0u32;
+        while !self.queue.is_empty() {
+            steps += 1;
+            assert!(steps < 500_000, "no quiescence");
+            let i = self.rng.random_range(0..self.queue.len());
+            let (from, to, msg) = self.queue.swap_remove(i);
+            if self.crashed.contains(&to) {
+                continue;
+            }
+            let mut fx = Vec::new();
+            cluster[to as usize].on_replication(from, msg, &mut fx);
+            self.absorb(to, fx);
+        }
+    }
+}
+
+fn msg(seq: u32) -> Message {
+    Message::new(
+        MsgId::new(ClientId(8), seq),
+        DestSet::try_from_ranks([0u16, 1]).unwrap(),
+        Payload::empty(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// A replicated FlexCast group under a seeded crash/recover schedule:
+    /// whichever replica leads proposes client multicasts; one replica
+    /// crashes (chosen by seed), a new leader takes over, the crashed
+    /// replica recovers and catches up through repair ticks. Every
+    /// replica's delivery log must be a duplicate-free prefix of the most
+    /// advanced log.
+    #[test]
+    fn replicated_flexcast_replicas_stay_in_lockstep(
+        seed in 0u64..10_000,
+        batches in 2u32..6,
+        per_batch in 1u32..5,
+    ) {
+        let rf: u32 = 3;
+        let mut cluster: Cluster = (0..rf)
+            .map(|i| {
+                ReplicatedGroup::new(
+                    i,
+                    rf,
+                    LoggedEngine {
+                        engine: FlexCastGroup::new(GroupId(0), 2),
+                        log: Vec::new(),
+                    },
+                    apply,
+                )
+            })
+            .collect();
+        let mut net = GroupNet {
+            queue: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            crashed: BTreeSet::new(),
+        };
+        let mut driver = StdRng::seed_from_u64(seed ^ 0xBEEF);
+
+        // Initial leader.
+        let mut leader: u32 = driver.random_range(0..rf);
+        let mut fx = Vec::new();
+        cluster[leader as usize].start_election(&mut fx);
+        net.absorb(leader, fx);
+        net.run(&mut cluster);
+
+        let crash_at = driver.random_range(0..batches);
+        let victim = driver.random_range(0..rf);
+        let mut seq = 0u32;
+        for batch in 0..batches {
+            if batch == crash_at {
+                net.crashed.insert(victim);
+                if victim == leader {
+                    // Fail over to a survivor.
+                    leader = (0..rf).find(|r| !net.crashed.contains(r)).unwrap();
+                    let mut fx = Vec::new();
+                    cluster[leader as usize].start_election(&mut fx);
+                    net.absorb(leader, fx);
+                    net.run(&mut cluster);
+                }
+            }
+            for _ in 0..per_batch {
+                let mut fx = Vec::new();
+                cluster[leader as usize].submit(GCmd::Client(msg(seq)), &mut fx);
+                seq += 1;
+                net.absorb(leader, fx);
+            }
+            net.run(&mut cluster);
+        }
+
+        // Recovery: the victim hears again; repair ticks re-drive stuck
+        // slots and fill its gaps until it catches up.
+        net.crashed.clear();
+        for _ in 0..4 {
+            for (r, group) in cluster.iter_mut().enumerate() {
+                let mut fx = Vec::new();
+                group.tick_repair(&mut fx);
+                net.absorb(r as u32, fx);
+            }
+            net.run(&mut cluster);
+        }
+
+        // Lockstep: every log is a prefix of the longest, duplicate-free,
+        // and the longest log holds every multicast proposed.
+        let logs: Vec<&[MsgId]> = cluster.iter().map(|g| g.engine().log.as_slice()).collect();
+        let longest = *logs.iter().max_by_key(|l| l.len()).unwrap();
+        for (r, log) in logs.iter().enumerate() {
+            prop_assert_eq!(
+                *log, &longest[..log.len()],
+                "replica {} diverged from the group order", r
+            );
+            let uniq: BTreeSet<&MsgId> = log.iter().collect();
+            prop_assert_eq!(uniq.len(), log.len(), "double delivery at replica {}", r);
+        }
+        prop_assert_eq!(longest.len() as u32, seq, "no committed multicast lost");
+    }
+}
