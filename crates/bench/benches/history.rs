@@ -46,7 +46,7 @@ fn bench_merge(c: &mut Criterion) {
             let d = delta(n);
             b.iter(|| {
                 let mut h = base.clone();
-                h.merge(black_box(&d), |_| false);
+                h.merge(black_box(&d));
                 black_box(h.len())
             });
         });

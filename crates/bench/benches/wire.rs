@@ -58,9 +58,34 @@ fn bench_decode(c: &mut Criterion) {
 fn bench_size_only(c: &mut Criterion) {
     let p = packet(128);
     c.bench_function("wire_encoded_size_packet_128", |b| {
-        b.iter(|| black_box(flexcast_wire::encoded_size(black_box(&p)).unwrap()));
+        b.iter(|| black_box(flexcast_wire::encoded_len(black_box(&p)).unwrap()));
     });
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_size_only);
+/// Full encode → decode round-trip: the end-to-end codec cost one packet
+/// pays crossing a real network boundary (`flexcast-net` framing). Guards
+/// against regressions that only show when both halves run back to back
+/// (e.g. an encoder change that shifts work into the decoder).
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_roundtrip_packet");
+    for &n in &[0u32, 16, 128] {
+        let p = packet(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| {
+                let bytes = flexcast_wire::to_bytes(black_box(p)).unwrap();
+                let back: Packet = flexcast_wire::from_bytes(black_box(&bytes)).unwrap();
+                black_box(back)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_size_only,
+    bench_roundtrip
+);
 criterion_main!(benches);

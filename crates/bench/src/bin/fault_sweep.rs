@@ -73,7 +73,10 @@ fn run_cell(cell: &Cell, smoke: bool) {
 
     let m = matrix(n_groups as usize);
     let mut world = build_world(&cfg, &m);
+    let start = std::time::Instant::now();
     run_schedule(&mut world, &schedule, MAX_EVENTS);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let stats = world.stats();
     let mut r = collect(&cfg, &world);
 
     assert!(
@@ -87,7 +90,7 @@ fn run_cell(cell: &Cell, smoke: bool) {
     let p50 = r.latency.percentile(50.0).unwrap_or(f64::NAN);
     let p90 = r.latency.percentile(90.0).unwrap_or(f64::NAN);
     println!(
-        "  rf={:<2} crash={:>5.0}ms part={:>5.0}ms  avail={:>6.1}% ({}/{})  p50={:>7.1}ms p90={:>7.1}ms  dropped={:<5} events={}",
+        "  rf={:<2} crash={:>5.0}ms part={:>5.0}ms  avail={:>6.1}% ({}/{})  p50={:>7.1}ms p90={:>7.1}ms  dropped={:<5} events={}  eps={:.0} peakq={}",
         cell.rf,
         cell.crash_ms,
         cell.part_ms,
@@ -98,6 +101,8 @@ fn run_cell(cell: &Cell, smoke: bool) {
         p90,
         r.dropped,
         r.events,
+        stats.events_per_sec(wall_secs),
+        stats.peak_queue_depth,
     );
 }
 

@@ -26,6 +26,9 @@ fn main() {
     ];
     let mut runs = 0u32;
     let mut failures = 0u32;
+    let mut total_events = 0u64;
+    let mut peak_queue = 0usize;
+    let wall = std::time::Instant::now();
     for (name, protocol) in &protocols {
         for &seed in &seeds {
             for &jitter in &[0.0, 10.0] {
@@ -48,6 +51,8 @@ fn main() {
                     };
                     let r = run(&cfg);
                     runs += 1;
+                    total_events += r.stats.events;
+                    peak_queue = peak_queue.max(r.stats.peak_queue_depth);
                     if !r.check.all_ok() {
                         failures += 1;
                         println!(
@@ -81,6 +86,8 @@ fn main() {
             };
             let r = run(&cfg);
             runs += 1;
+            total_events += r.stats.events;
+            peak_queue = peak_queue.max(r.stats.peak_queue_depth);
             if !r.check.all_ok() {
                 failures += 1;
                 println!(
@@ -91,6 +98,11 @@ fn main() {
             }
         }
     }
-    println!("stress sweep: {runs} runs, {failures} failures");
+    let wall_secs = wall.elapsed().as_secs_f64();
+    println!(
+        "stress sweep: {runs} runs, {failures} failures, {total_events} events \
+         ({:.0} events/s wall, peak queue {peak_queue})",
+        total_events as f64 / wall_secs
+    );
     assert_eq!(failures, 0, "property violations found");
 }

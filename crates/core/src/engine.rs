@@ -108,15 +108,6 @@ pub struct FlexCastGroup {
     /// sent). Indexed by descendant rank.
     vert_cursor: Vec<usize>,
     edge_cursor: Vec<usize>,
-    /// Permanent, compact tombstones for pruned history: merges skip
-    /// pruned ids so a stale ancestor diff (e.g. on a low-traffic C-DAG
-    /// edge whose cursor lags many flush epochs) can never resurrect
-    /// garbage-collected vertices. Compactness comes from the closed-loop
-    /// client property: a client's messages complete strictly in sequence,
-    /// so pruned ids per client form a prefix — tracked as a watermark —
-    /// with a small residual set for out-of-prefix stragglers.
-    pruned_watermark: BTreeMap<flexcast_types::ClientId, u32>,
-    pruned_residual: BTreeSet<MsgId>,
     delivered_count: u64,
 }
 
@@ -143,8 +134,6 @@ impl FlexCastGroup {
             client_backlog: VecDeque::new(),
             vert_cursor: vec![0; n as usize],
             edge_cursor: vec![0; n as usize],
-            pruned_watermark: BTreeMap::new(),
-            pruned_residual: BTreeSet::new(),
             delivered_count: 0,
         }
     }
@@ -306,87 +295,54 @@ impl FlexCastGroup {
             }
             Packet::Notif { mref, hist } => {
                 self.update_hst(&hist);
-                let deps = self.open_deps.clone();
-                if deps.is_empty() {
+                if self.open_deps.is_empty() {
                     // Not a destination: acknowledge straight away so the
                     // destinations above learn our dependencies.
                     self.send_descendants(mref, None, from, out);
                 } else {
-                    self.pend_notif.push((mref, from, deps));
+                    self.pend_notif.push((mref, from, self.open_deps.clone()));
                 }
             }
         }
     }
 
-    /// True if `id` was garbage-collected here (tombstone check).
-    fn is_pruned(&self, id: MsgId) -> bool {
-        self.pruned_watermark
-            .get(&id.sender)
-            .is_some_and(|&wm| id.seq <= wm)
-            || self.pruned_residual.contains(&id)
-    }
-
-    /// Records pruned ids, promoting contiguous per-client prefixes into
-    /// the watermark so the residual set stays small.
-    fn note_pruned(&mut self, ids: &[MsgId]) {
-        self.pruned_residual.extend(ids.iter().copied());
-        let clients: BTreeSet<flexcast_types::ClientId> = ids.iter().map(|id| id.sender).collect();
-        for c in clients {
-            let mut next = match self.pruned_watermark.get(&c) {
-                Some(&wm) => wm.wrapping_add(1),
-                None => 0,
-            };
-            while self.pruned_residual.remove(&MsgId::new(c, next)) {
-                self.pruned_watermark.insert(c, next);
-                next = next.wrapping_add(1);
-            }
-        }
-    }
-
-    /// `update-hst` (Alg. 3 line 1), with the garbage-collection guard.
+    /// `update-hst` (Alg. 3 line 1).
+    ///
+    /// Garbage-collection safety is the history's own job now: its seen
+    /// watermark never re-admits a pruned vertex, and edges with pruned
+    /// endpoints are dropped by `insert_edge` — so no per-delta prefilter
+    /// runs here. Post-merge maintenance (open dependencies, clean-set
+    /// invalidation) runs over the history's append-only insertion logs —
+    /// the entries the merge *actually inserted* — instead of the full
+    /// delta. A group receives the same vertex from up to `n − 1`
+    /// different ancestors, so at large group counts almost every delta
+    /// entry is a duplicate; the log cursors make those duplicates cost
+    /// one watermark probe each and nothing afterwards.
     fn update_hst(&mut self, delta: &HistoryDelta) {
-        let mut skip_any = false;
-        for v in &delta.verts {
-            if self.is_pruned(v.id) {
-                skip_any = true;
-                break;
-            }
-        }
-        if skip_any {
-            let verts: Vec<_> = delta
-                .verts
-                .iter()
-                .filter(|v| !self.is_pruned(v.id))
-                .copied()
-                .collect();
-            let edges: Vec<_> = delta
-                .edges
-                .iter()
-                .filter(|(a, b)| !self.is_pruned(*a) && !self.is_pruned(*b))
-                .copied()
-                .collect();
-            let filtered = HistoryDelta { verts, edges };
-            self.hst.merge(&filtered, |_| false);
-            return self.post_merge(&filtered);
-        }
-        self.hst.merge(delta, |_| false);
-        self.post_merge(delta);
+        let pre_verts = self.hst.vert_log_len();
+        let pre_edges = self.hst.edge_log_len();
+        self.hst.merge(delta);
+        self.post_merge_since(pre_verts, pre_edges);
     }
 
-    /// Open-dependency and clean-set maintenance after a delta merge.
-    fn post_merge(&mut self, delta: &HistoryDelta) {
-        for v in &delta.verts {
-            if v.dst.contains(self.g) && !self.delivered.contains(&v.id) && self.hst.contains(v.id)
-            {
+    /// Open-dependency and clean-set maintenance for the history entries
+    /// inserted after the given log positions.
+    fn post_merge_since(&mut self, pre_verts: usize, pre_edges: usize) {
+        for v in self.hst.verts_since(pre_verts) {
+            if v.dst.contains(self.g) && !self.delivered.contains(&v.id) {
                 self.open_deps.insert(v.id);
             }
         }
-        // Clean-set invalidation: an edge whose source is neither clean
+        // Clean-set invalidation: a new edge whose source is neither clean
         // nor delivered may put an open dependency above its target.
-        for &(a, b) in &delta.edges {
+        let mut purge: Vec<MsgId> = Vec::new();
+        for &(a, b) in self.hst.edges_since(pre_edges) {
             if !self.clean.contains(&a) && !self.delivered.contains(&a) {
-                self.purge_clean(b);
+                purge.push(b);
             }
+        }
+        for b in purge {
+            self.purge_clean(b);
         }
     }
 
@@ -405,7 +361,12 @@ impl FlexCastGroup {
     /// dependency (undelivered message addressed to this group) precedes
     /// `m` transitively.
     fn cond2_blocked(&mut self, m: MsgId) -> bool {
-        if std::env::var("FLEX_NO_MEMO").is_ok() {
+        // The diagnostic escape hatch is an env lookup; resolve it once —
+        // the per-call `env::var` took a global lock on the deliver path.
+        // Read-once semantics: set FLEX_NO_MEMO before the process starts
+        // (it is a launch-time diagnostic, nothing toggles it in-process).
+        static NO_MEMO: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *NO_MEMO.get_or_init(|| std::env::var("FLEX_NO_MEMO").is_ok()) {
             // Diagnostic mode: exact walk, no delivered-cut, no memos.
             let mut stack: Vec<MsgId> = self.hst.preds_of(m).collect();
             let mut seen: BTreeSet<MsgId> = stack.iter().copied().collect();
@@ -493,7 +454,7 @@ impl FlexCastGroup {
         }
 
         // Flush-based garbage collection (§4.3).
-        if m.payload.0 == FLUSH_PAYLOAD && m.dst == DestSet::all(self.n as usize) {
+        if m.payload.as_slice() == FLUSH_PAYLOAD && m.dst == DestSet::all(self.n as usize) {
             self.prune(m.id);
         }
     }
@@ -655,7 +616,6 @@ impl FlexCastGroup {
             self.clean.remove(id);
             self.blocked_by.remove(id);
         }
-        self.note_pruned(&pruned);
     }
 
     /// Serializes the engine's complete state to bytes (§4.4 state

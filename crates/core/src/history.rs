@@ -85,6 +85,19 @@ pub struct History {
     /// Number of retained vertices addressed to each group, for O(log n)
     /// `contains_msg_to` (evaluated on every forward by `send-notifs`).
     addressed: BTreeMap<GroupId, u32>,
+    /// Per-client contiguous-prefix watermark over every id this history
+    /// has *ever* admitted — still retained or since pruned: all seqs
+    /// `<= wm` have been seen. A group receives the same vertex from up
+    /// to `n − 1` ancestors, so on the merge hot path almost every delta
+    /// entry is a duplicate; one probe of this small, cache-hot map
+    /// rejects it without walking the full vertex map. The watermark
+    /// doubles as the garbage-collection tombstone: a pruned id stays
+    /// seen forever, so a stale ancestor diff can never resurrect it.
+    /// Compactness comes from the closed-loop client property (a client's
+    /// messages complete strictly in sequence), with a small residual set
+    /// for out-of-prefix stragglers.
+    seen_watermark: BTreeMap<flexcast_types::ClientId, u32>,
+    seen_residual: BTreeSet<MsgId>,
 }
 
 impl History {
@@ -145,17 +158,56 @@ impl History {
         self.succs.get(&id).into_iter().flatten().copied()
     }
 
-    /// Inserts a vertex if absent. Returns true when it was new.
-    pub fn insert_vert(&mut self, v: MsgRef) -> bool {
-        if self.verts.insert(v.id, v.dst).is_none() {
-            self.vert_log.push(v);
-            for g in v.dst.iter() {
-                *self.addressed.entry(g).or_insert(0) += 1;
+    /// True if `id` was ever admitted into this history — whether still
+    /// retained or pruned since. One probe of the per-client watermark
+    /// (plus, for out-of-prefix ids, the small residual set).
+    #[inline]
+    pub fn has_seen(&self, id: MsgId) -> bool {
+        self.seen_watermark
+            .get(&id.sender)
+            .is_some_and(|&wm| id.seq <= wm)
+            || self.seen_residual.contains(&id)
+    }
+
+    /// Records `id` as seen, promoting contiguous per-client prefixes into
+    /// the watermark so the residual set stays small.
+    fn note_seen(&mut self, id: MsgId) {
+        let wm = self.seen_watermark.get(&id.sender).copied();
+        let next = match wm {
+            Some(w) => w.wrapping_add(1),
+            None => 0,
+        };
+        if id.seq == next {
+            let mut w = id.seq;
+            self.seen_watermark.insert(id.sender, w);
+            // Absorb any residual stragglers that are now contiguous.
+            loop {
+                let n = w.wrapping_add(1);
+                if !self.seen_residual.remove(&MsgId::new(id.sender, n)) {
+                    break;
+                }
+                w = n;
+                self.seen_watermark.insert(id.sender, w);
             }
-            true
         } else {
-            false
+            self.seen_residual.insert(id);
         }
+    }
+
+    /// Inserts a vertex if absent. Returns true when it was new; a vertex
+    /// the history has ever seen — including one pruned by garbage
+    /// collection — is never re-admitted.
+    pub fn insert_vert(&mut self, v: MsgRef) -> bool {
+        if self.has_seen(v.id) {
+            return false;
+        }
+        self.note_seen(v.id);
+        self.verts.insert(v.id, v.dst);
+        self.vert_log.push(v);
+        for g in v.dst.iter() {
+            *self.addressed.entry(g).or_insert(0) += 1;
+        }
+        true
     }
 
     /// Inserts an order edge `before → after`. Both endpoints must already
@@ -163,14 +215,24 @@ impl History {
     /// vertices with its edges, so this only drops edges about vertices
     /// pruned by garbage collection).
     pub fn insert_edge(&mut self, before: MsgId, after: MsgId) {
-        if before == after || !self.verts.contains_key(&before) || !self.verts.contains_key(&after)
+        if before == after {
+            return;
+        }
+        // Duplicate fast path: ancestor deltas replay mostly-known edges,
+        // so check for the edge itself before validating endpoints.
+        if self
+            .preds
+            .get(&after)
+            .is_some_and(|ps| ps.contains(&before))
         {
             return;
         }
-        if self.preds.entry(after).or_default().insert(before) {
-            self.succs.entry(before).or_default().insert(after);
-            self.edge_log.push((before, after));
+        if !self.verts.contains_key(&before) || !self.verts.contains_key(&after) {
+            return;
         }
+        self.preds.entry(after).or_default().insert(before);
+        self.succs.entry(before).or_default().insert(after);
+        self.edge_log.push((before, after));
     }
 
     /// Length of the vertex insertion log (a `diff-hst` cursor bound).
@@ -203,19 +265,16 @@ impl History {
         self.last_delivered = Some(v.id);
     }
 
-    /// Merges a received delta (`update-hst`, Alg. 3 line 1). `skip`
-    /// filters vertices this group has garbage-collected, so pruned
-    /// history cannot re-enter through a slow ancestor.
-    pub fn merge(&mut self, delta: &HistoryDelta, skip: impl Fn(MsgId) -> bool) {
+    /// Merges a received delta (`update-hst`, Alg. 3 line 1). Vertices
+    /// this history has garbage-collected cannot re-enter through a slow
+    /// ancestor: the seen watermark rejects them in `insert_vert`, and
+    /// `insert_edge` drops edges whose endpoints are missing.
+    pub fn merge(&mut self, delta: &HistoryDelta) {
         for v in &delta.verts {
-            if !skip(v.id) {
-                self.insert_vert(*v);
-            }
+            self.insert_vert(*v);
         }
         for &(b, a) in &delta.edges {
-            if !skip(b) && !skip(a) {
-                self.insert_edge(b, a);
-            }
+            self.insert_edge(b, a);
         }
     }
 
@@ -464,17 +523,18 @@ mod tests {
     }
 
     #[test]
-    fn merge_applies_delta_and_respects_skip() {
+    fn merge_applies_delta_and_drops_dangling_edges() {
         let mut h = History::new();
         let delta = HistoryDelta {
-            verts: vec![vref(1, &[0]), vref(2, &[1]), vref(3, &[0, 1])],
-            edges: vec![(id(1), id(2)), (id(2), id(3))],
+            verts: vec![vref(1, &[0]), vref(3, &[0, 1])],
+            edges: vec![(id(1), id(2)), (id(2), id(3)), (id(1), id(3))],
         };
-        h.merge(&delta, |m| m == id(2));
+        h.merge(&delta);
         assert!(h.contains(id(1)));
-        assert!(!h.contains(id(2)), "skipped vertex not merged");
+        assert!(!h.contains(id(2)), "vertex the delta never shipped");
         assert!(h.contains(id(3)));
-        assert_eq!(h.edge_count(), 0, "edges touching skipped vertex dropped");
+        assert_eq!(h.edge_count(), 1, "edges touching missing vertices dropped");
+        assert!(h.reaches(id(1), id(3)));
     }
 
     #[test]
@@ -580,6 +640,35 @@ mod tests {
         let _ = h.prune_before(id(2), &mut [], &mut []);
         assert!(!h.contains_msg_to(GroupId(3)), "pruned vertex uncounted");
         assert!(h.contains_msg_to(GroupId(0)), "fence itself retained");
+    }
+
+    #[test]
+    fn seen_watermark_rejects_duplicates_and_pruned() {
+        let mut h = History::new();
+        assert!(h.insert_vert(vref(0, &[0])));
+        assert!(!h.insert_vert(vref(0, &[0])), "duplicate rejected");
+        assert!(h.has_seen(id(0)));
+        assert!(!h.has_seen(id(1)));
+        // Out-of-prefix id lands in the residual, then promotes when the
+        // gap fills.
+        assert!(h.insert_vert(vref(2, &[0])));
+        assert!(h.has_seen(id(2)));
+        assert!(h.insert_vert(vref(1, &[0])));
+        assert!(!h.insert_vert(vref(2, &[0])), "still seen after promotion");
+
+        // Pruned vertices stay seen: a stale delta cannot resurrect them.
+        h.insert_edge(id(0), id(2));
+        let _ = h.prune_before(id(2), &mut [], &mut []);
+        assert!(!h.contains(id(0)), "0 pruned");
+        assert!(h.has_seen(id(0)), "tombstone survives the prune");
+        assert!(!h.insert_vert(vref(0, &[0])), "no resurrection");
+        let delta = HistoryDelta {
+            verts: vec![vref(0, &[0])],
+            edges: vec![(id(0), id(2))],
+        };
+        h.merge(&delta);
+        assert!(!h.contains(id(0)), "merge respects the tombstone");
+        assert_eq!(h.edge_count(), 0, "edge to pruned vertex dropped");
     }
 
     #[test]

@@ -74,7 +74,9 @@ impl Transaction {
 
     /// Serializes the business fields into the multicast payload.
     pub fn payload(&self) -> Payload {
-        Payload(flexcast_wire::to_bytes(self).expect("transactions always encode"))
+        flexcast_wire::to_bytes(self)
+            .expect("transactions always encode")
+            .into()
     }
 }
 

@@ -67,6 +67,9 @@ pub struct ServerActor {
     pub stats: ServerStats,
     /// Ordered delivery log for the property checker.
     pub deliveries: Vec<DeliveryEvent>,
+    /// Reusable engine-output buffer: one allocation per server instead
+    /// of one per handled message.
+    flex_outs: Vec<FlexOutput>,
 }
 
 impl ServerActor {
@@ -83,6 +86,7 @@ impl ServerActor {
             },
             stats: ServerStats::default(),
             deliveries: Vec::new(),
+            flex_outs: Vec::new(),
         }
     }
 
@@ -94,6 +98,7 @@ impl ServerActor {
             engine: EngineKind::Skeen(SkeenGroup::new(node)),
             stats: ServerStats::default(),
             deliveries: Vec::new(),
+            flex_outs: Vec::new(),
         }
     }
 
@@ -105,6 +110,7 @@ impl ServerActor {
             engine: EngineKind::Hier(HierGroup::new(node, tree)),
             stats: ServerStats::default(),
             deliveries: Vec::new(),
+            flex_outs: Vec::new(),
         }
     }
 
@@ -138,10 +144,10 @@ impl ServerActor {
         ctx.send(to, msg);
     }
 
-    fn handle_flex_outputs(&mut self, outs: Vec<FlexOutput>, ctx: &mut Ctx<'_, NetMsg>) {
+    fn handle_flex_outputs(&mut self, outs: &mut Vec<FlexOutput>, ctx: &mut Ctx<'_, NetMsg>) {
         let now = ctx.now();
         // Split borrow: read the order before looping to map ranks.
-        for o in outs {
+        for o in outs.drain(..) {
             match o {
                 FlexOutput::Deliver(m) => self.deliver(m.id, now, ctx),
                 FlexOutput::Send { to, pkt } => {
@@ -193,9 +199,10 @@ impl ServerActor {
                     // the engine's rank space.
                     let ranked = Message::new(m.id, order.to_ranks(m.dst), m.payload)
                         .expect("non-empty destinations");
-                    let mut outs = Vec::new();
+                    let mut outs = std::mem::take(&mut self.flex_outs);
                     engine.on_client(ranked, &mut outs);
-                    self.handle_flex_outputs(outs, ctx);
+                    self.handle_flex_outputs(&mut outs, ctx);
+                    self.flex_outs = outs;
                 }
                 EngineKind::Skeen(engine) => {
                     let mut outs = Vec::new();
@@ -213,9 +220,10 @@ impl ServerActor {
                     panic!("flex packet at a non-flex server");
                 };
                 let from_rank = order.rank_of(GroupId(from as u16));
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.flex_outs);
                 engine.on_packet(from_rank, pkt, &mut outs);
-                self.handle_flex_outputs(outs, ctx);
+                self.handle_flex_outputs(&mut outs, ctx);
+                self.flex_outs = outs;
             }
             NetMsg::Skeen(pkt) => {
                 let EngineKind::Skeen(engine) = &mut self.engine else {
@@ -355,15 +363,14 @@ impl ClientActor {
             sent_at: ctx.now(),
             replies: 0,
         });
-        for node in self.entry.entries(&m) {
-            ctx.send(
-                node.index(),
-                NetMsg::Client {
-                    msg: m.clone(),
-                    reply_to: client_pid(self.n_servers, self.client_id),
-                },
-            );
-        }
+        let targets: Vec<usize> = self.entry.entries(&m).iter().map(|n| n.index()).collect();
+        ctx.send_many(
+            targets,
+            NetMsg::Client {
+                msg: m,
+                reply_to: client_pid(self.n_servers, self.client_id),
+            },
+        );
     }
 
     /// Handles a reply from a destination server.
@@ -438,15 +445,14 @@ impl FlushActor {
         self.seq += 1;
         let m = FlexCastGroup::flush_message(id, self.n_servers as u16);
         self.issued.push((id, m.dst));
-        for node in self.entry.entries(&m) {
-            ctx.send(
-                node.index(),
-                NetMsg::Client {
-                    msg: m.clone(),
-                    reply_to: client_pid(self.n_servers, self.client_id),
-                },
-            );
-        }
+        let targets: Vec<usize> = self.entry.entries(&m).iter().map(|n| n.index()).collect();
+        ctx.send_many(
+            targets,
+            NetMsg::Client {
+                msg: m,
+                reply_to: client_pid(self.n_servers, self.client_id),
+            },
+        );
         if ctx.now() + self.period < self.stop_at {
             ctx.set_timer(self.period, 0);
         }

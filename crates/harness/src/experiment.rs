@@ -138,8 +138,9 @@ pub struct ExperimentResult {
     pub trace: Vec<Vec<DeliveryEvent>>,
     /// Every multicast message and its destination set (node space).
     pub registry: BTreeMap<MsgId, DestSet>,
-    /// Total simulated events processed.
-    pub events: u64,
+    /// Simulator throughput counters (total events, sends, peak queue
+    /// depth); combine with a wall-clock measurement for events/s.
+    pub stats: flexcast_sim::SimStats,
 }
 
 impl ExperimentResult {
@@ -165,8 +166,7 @@ pub fn run(cfg: &ExperimentConfig) -> ExperimentResult {
 pub fn run_on(cfg: &ExperimentConfig, matrix: &LatencyMatrix) -> ExperimentResult {
     let world = run_world_on(cfg, matrix);
     let n_servers = matrix.len();
-    let events = world.processed_events();
-    collect(cfg, world, n_servers, events)
+    collect(cfg, world, n_servers)
 }
 
 /// Runs the experiment and returns the quiesced world itself, for
@@ -255,8 +255,8 @@ fn collect(
     cfg: &ExperimentConfig,
     world: World<NetMsg, Node>,
     n_servers: usize,
-    events: u64,
 ) -> ExperimentResult {
+    let stats = world.stats();
     // Gather client samples and the multicast registry.
     let mut registry: BTreeMap<MsgId, DestSet> = BTreeMap::new();
     let mut samples: Vec<LatencySample> = Vec::new();
@@ -316,7 +316,7 @@ fn collect(
         check,
         trace,
         registry,
-        events,
+        stats,
     }
 }
 
@@ -416,6 +416,6 @@ mod tests {
         let a = run(&cfg);
         let b = run(&cfg);
         assert_eq!(a.completed, b.completed);
-        assert_eq!(a.events, b.events);
+        assert_eq!(a.stats.events, b.stats.events);
     }
 }

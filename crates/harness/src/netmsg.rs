@@ -52,7 +52,7 @@ pub enum NetMsg {
 impl NetMsg {
     /// Exact encoded size in bytes under the workspace wire format.
     pub fn wire_size(&self) -> usize {
-        flexcast_wire::encoded_size(self).expect("net messages always encode")
+        flexcast_wire::encoded_len(self).expect("net messages always encode")
     }
 
     /// True for messages that carry an application payload (the paper's
@@ -79,7 +79,7 @@ mod tests {
         Message::new(
             MsgId::new(ClientId(1), 2),
             DestSet::from_iter([GroupId(0), GroupId(3)]),
-            Payload(vec![7; 64]),
+            Payload(vec![7; 64].into()),
         )
         .unwrap()
     }

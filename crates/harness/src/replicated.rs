@@ -319,16 +319,11 @@ impl ReplicatedActor {
 
     /// Sends an inter-group packet to every replica of the destination
     /// group (any live one suffices to get it into that group's log).
+    /// The fan-out clones the packet only for links that will actually
+    /// deliver it ([`Ctx::send_many`]).
     fn send_group(&self, to: GroupId, seq: u64, pkt: Packet, ctx: &mut Ctx<'_, NetMsg>) {
-        for r in 0..self.rf {
-            ctx.send(
-                replica_pid(to, r, self.rf),
-                NetMsg::GroupMsg {
-                    seq,
-                    pkt: pkt.clone(),
-                },
-            );
-        }
+        let targets: Vec<ProcessId> = (0..self.rf).map(|r| replica_pid(to, r, self.rf)).collect();
+        ctx.send_many(targets, NetMsg::GroupMsg { seq, pkt });
     }
 
     /// Emits a batch of group effects into the network. Never proposes.
@@ -599,20 +594,21 @@ impl ReplClientActor {
         dst
     }
 
-    /// Sends `m` to every replica of each group in `targets`.
+    /// Sends `m` to every replica of each group in `targets`, cloning
+    /// only for links that will deliver ([`Ctx::send_many`]).
     fn send_to_groups(&self, m: &Message, targets: &[GroupId], ctx: &mut Ctx<'_, NetMsg>) {
         let n_groups = self.order.len();
-        for &g in targets {
-            for r in 0..self.rf {
-                ctx.send(
-                    replica_pid(g, r, self.rf),
-                    NetMsg::Client {
-                        msg: m.clone(),
-                        reply_to: client_pid(n_groups, self.rf, self.id),
-                    },
-                );
-            }
-        }
+        let pids: Vec<ProcessId> = targets
+            .iter()
+            .flat_map(|&g| (0..self.rf).map(move |r| replica_pid(g, r, self.rf)))
+            .collect();
+        ctx.send_many(
+            pids,
+            NetMsg::Client {
+                msg: m.clone(),
+                reply_to: client_pid(n_groups, self.rf, self.id),
+            },
+        );
     }
 
     /// The FlexCast entry point for `m`: the node holding the lowest rank

@@ -1,0 +1,139 @@
+//! Golden-trace determinism tests.
+//!
+//! These digests were recorded from the pre-optimization simulator (the
+//! `BinaryHeap` + `HashMap` side-table event queue and hashed link maps)
+//! and pin the exact delivered-event sequence and checker verdict of two
+//! reference runs — one fault-free, one under probabilistic `LinkFault`s.
+//! The hot-path overhaul (inline heap payloads, flat link state, shared
+//! payload buffers) must replay both byte-identically: any change to RNG
+//! draw order, queue tie-breaking, or fault sampling shows up here as a
+//! digest mismatch.
+
+use flexcast_chaos::{run_schedule, FaultSchedule};
+use flexcast_harness::replicated::{build_world, collect, replica_pid, ReplicatedConfig};
+use flexcast_harness::{run, CheckReport, ExperimentConfig, ProtocolKind};
+use flexcast_overlay::{presets, LatencyMatrix};
+use flexcast_sim::{LinkFault, SimTime};
+use flexcast_types::GroupId;
+
+/// FNV-1a over a stream of u64 words: tiny, dependency-free, and stable.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+}
+
+/// Folds a per-node delivery trace and the checker verdict into one value.
+fn trace_digest(trace: &[Vec<flexcast_harness::DeliveryEvent>], check: &CheckReport) -> u64 {
+    let mut d = Digest::new();
+    for (node, log) in trace.iter().enumerate() {
+        d.word(node as u64);
+        d.word(log.len() as u64);
+        for ev in log {
+            d.word(ev.id.sender.0 as u64);
+            d.word(ev.id.seq as u64);
+            d.word(ev.at.as_nanos());
+        }
+    }
+    d.word(check.acyclic as u64);
+    d.word(check.validity_violations.len() as u64);
+    d.word(check.prefix_violations.len() as u64);
+    d.word(check.integrity_violations.len() as u64);
+    d.0
+}
+
+/// Fault-free reference run: FlexCast O1 on the 12-region AWS matrix with
+/// jitter and GC flushes — the configuration every figure bin builds on.
+#[test]
+fn golden_trace_fault_free() {
+    let cfg = ExperimentConfig {
+        protocol: ProtocolKind::FlexCast(presets::o1()),
+        locality: 0.9,
+        mode: flexcast_gtpcc::WorkloadMode::GlobalOnly,
+        n_clients: 12,
+        duration: SimTime::from_secs(2),
+        seed: 7,
+        jitter_ms: 1.0,
+        flush_period: Some(SimTime::from_ms(400.0)),
+        server_service_ms: 0.05,
+        server_processing_ms: 20.0,
+    };
+    let r = run(&cfg);
+    r.check.assert_ok();
+    assert_eq!(
+        (
+            r.stats.events,
+            r.completed,
+            trace_digest(&r.trace, &r.check)
+        ),
+        GOLDEN_FAULT_FREE,
+        "fault-free trace diverged from the pre-refactor recording"
+    );
+}
+
+/// LinkFault reference run: replicated groups under drop/dup/reorder and a
+/// latency spike, driven by a chaos schedule. Retransmission absorbs the
+/// losses, so the run still completes — along a fault-sampling-dependent
+/// path that pins the RNG draw order of the link-fault machinery.
+#[test]
+fn golden_trace_link_faults() {
+    let n_groups: u16 = 3;
+    let rf: u32 = 3;
+    let mut cfg = ReplicatedConfig::small(n_groups, rf, 40);
+    cfg.n_clients = 2;
+    cfg.msgs_per_client = 6;
+
+    let mut m = LatencyMatrix::zero(n_groups as usize);
+    for a in 0..n_groups as usize {
+        m.set_local(a, 0.5);
+        for b in (a + 1)..n_groups as usize {
+            m.set_rtt(a, b, 20.0 + 10.0 * ((a + b) % 3) as f64);
+        }
+    }
+
+    // Lossy, duplicating, reordering link between group 0's and group 1's
+    // lead replicas in both directions, plus a spike window on 0 → 2.
+    let lossy = LinkFault {
+        drop: 0.15,
+        dup: 0.10,
+        reorder: 0.25,
+        extra_delay: SimTime::ZERO,
+    };
+    let a0 = replica_pid(GroupId(0), 0, rf);
+    let b0 = replica_pid(GroupId(1), 0, rf);
+    let c0 = replica_pid(GroupId(2), 0, rf);
+    let schedule = FaultSchedule::new()
+        .link_fault_between(0.0, 3_000.0, a0, b0, lossy)
+        .link_fault_between(0.0, 3_000.0, b0, a0, lossy)
+        .link_fault_between(500.0, 1_500.0, a0, c0, LinkFault::spike_ms(40.0));
+
+    let mut world = build_world(&cfg, &m);
+    run_schedule(&mut world, &schedule, 50_000_000);
+    let r = collect(&cfg, &world);
+    assert!(r.check.safety_ok(), "safety violated under link faults");
+    assert_eq!(
+        (
+            r.events,
+            r.completed,
+            world.dropped_messages(),
+            trace_digest(&r.trace, &r.check),
+        ),
+        GOLDEN_LINK_FAULTS,
+        "link-fault trace diverged from the pre-refactor recording"
+    );
+}
+
+/// `(events, completed, trace digest)` recorded from the seed simulator.
+const GOLDEN_FAULT_FREE: (u64, u64, u64) = (1519, 239, 6087929938598119994);
+
+/// `(events, completed, dropped, trace digest)` recorded likewise.
+const GOLDEN_LINK_FAULTS: (u64, u64, u64, u64) = (28561, 12, 18, 10328533749801288588);

@@ -18,12 +18,14 @@
 
 pub mod fault;
 pub mod link;
+pub mod linkstate;
 pub mod stats;
 pub mod time;
 pub mod world;
 
 pub use fault::LinkFault;
 pub use link::LinkModel;
-pub use stats::Summary;
+pub use linkstate::LinkState;
+pub use stats::{SimStats, Summary};
 pub use time::SimTime;
 pub use world::{Actor, Ctx, ProcessId, World};

@@ -1,0 +1,140 @@
+//! Flat per-link state for the simulator hot path.
+//!
+//! Every send consults the FIFO clamp, the partition set, and the fault
+//! table for its directed link. The seed implementation keyed all three by
+//! hashed `(from, to)` tuples, paying three SipHash probes per message;
+//! [`LinkState`] replaces them with dense matrices indexed by
+//! `from * n + to`, so the per-event deliver path performs no hash-map
+//! lookups at all. At the simulator's scale (≤ 128 groups plus clients,
+//! so thousands of processes at most) the dense layout costs a few
+//! megabytes and wins every lookup.
+
+use crate::{LinkFault, SimTime};
+
+/// Dense per-link simulator state: FIFO clamps, partitions, probabilistic
+/// faults, and per-process service backlogs.
+#[derive(Clone, Debug)]
+pub struct LinkState {
+    n: usize,
+    /// Latest scheduled arrival per directed link (the FIFO clamp).
+    last_arrival: Vec<SimTime>,
+    /// Links severed by a partition.
+    blocked: Vec<bool>,
+    /// Probabilistic fault per directed link ([`LinkFault::NONE`] = clean).
+    faults: Vec<LinkFault>,
+    /// When each process finishes its current serial service.
+    busy_until: Vec<SimTime>,
+}
+
+impl LinkState {
+    /// Creates clean link state for `n` processes.
+    pub fn new(n: usize) -> Self {
+        LinkState {
+            n,
+            last_arrival: vec![SimTime::ZERO; n * n],
+            blocked: vec![false; n * n],
+            faults: vec![LinkFault::NONE; n * n],
+            busy_until: vec![SimTime::ZERO; n],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, from: usize, to: usize) -> usize {
+        debug_assert!(from < self.n && to < self.n, "link endpoints in range");
+        from * self.n + to
+    }
+
+    /// The FIFO clamp of a link: no message may arrive before this time.
+    #[inline]
+    pub fn last_arrival(&self, from: usize, to: usize) -> SimTime {
+        self.last_arrival[self.idx(from, to)]
+    }
+
+    /// Advances a link's FIFO clamp.
+    #[inline]
+    pub fn set_last_arrival(&mut self, from: usize, to: usize, at: SimTime) {
+        let i = self.idx(from, to);
+        self.last_arrival[i] = at;
+    }
+
+    /// True if the directed link is severed.
+    #[inline]
+    pub fn is_blocked(&self, from: usize, to: usize) -> bool {
+        self.blocked[self.idx(from, to)]
+    }
+
+    /// Severs or restores the directed link.
+    #[inline]
+    pub fn set_blocked(&mut self, from: usize, to: usize, blocked: bool) {
+        let i = self.idx(from, to);
+        self.blocked[i] = blocked;
+    }
+
+    /// The fault installed on a link ([`LinkFault::NONE`] when clean).
+    #[inline]
+    pub fn fault(&self, from: usize, to: usize) -> LinkFault {
+        self.faults[self.idx(from, to)]
+    }
+
+    /// Installs (or clears, with [`LinkFault::NONE`]) a link fault.
+    #[inline]
+    pub fn set_fault(&mut self, from: usize, to: usize, fault: LinkFault) {
+        let i = self.idx(from, to);
+        self.faults[i] = fault;
+    }
+
+    /// Clears every probabilistic fault (partitions are unaffected).
+    pub fn clear_faults(&mut self) {
+        self.faults.fill(LinkFault::NONE);
+    }
+
+    /// When `pid` finishes its current serial service.
+    #[inline]
+    pub fn busy_until(&self, pid: usize) -> SimTime {
+        self.busy_until[pid]
+    }
+
+    /// Extends `pid`'s serial-service backlog.
+    #[inline]
+    pub fn set_busy_until(&mut self, pid: usize, at: SimTime) {
+        self.busy_until[pid] = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_clean() {
+        let ls = LinkState::new(3);
+        assert_eq!(ls.last_arrival(0, 2), SimTime::ZERO);
+        assert!(!ls.is_blocked(1, 0));
+        assert!(ls.fault(2, 1).is_none());
+        assert_eq!(ls.busy_until(1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn directed_links_are_independent() {
+        let mut ls = LinkState::new(3);
+        ls.set_blocked(0, 1, true);
+        assert!(ls.is_blocked(0, 1));
+        assert!(!ls.is_blocked(1, 0));
+        ls.set_fault(1, 2, LinkFault::dropping(0.5));
+        assert_eq!(ls.fault(1, 2).drop, 0.5);
+        assert!(ls.fault(2, 1).is_none());
+        ls.clear_faults();
+        assert!(ls.fault(1, 2).is_none());
+        assert!(ls.is_blocked(0, 1), "partitions survive fault clears");
+    }
+
+    #[test]
+    fn clamps_and_service_update() {
+        let mut ls = LinkState::new(2);
+        ls.set_last_arrival(0, 1, SimTime::from_ms(5.0));
+        assert_eq!(ls.last_arrival(0, 1), SimTime::from_ms(5.0));
+        assert_eq!(ls.last_arrival(1, 0), SimTime::ZERO);
+        ls.set_busy_until(1, SimTime::from_ms(9.0));
+        assert_eq!(ls.busy_until(1), SimTime::from_ms(9.0));
+    }
+}

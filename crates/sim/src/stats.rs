@@ -2,7 +2,47 @@
 //!
 //! The paper reports 90th/95th/99th-percentile latencies (Tables 2 and 3)
 //! and CDF plots (Figures 5 and 7); [`Summary`] produces both from raw
-//! latency samples.
+//! latency samples. [`SimStats`] is the simulator's own throughput
+//! counter block, reported by the sweep binaries.
+
+use crate::SimTime;
+
+/// Throughput counters of one simulation run, snapshotted from
+/// [`World::stats`](crate::World::stats).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// Events processed (queue pops).
+    pub events: u64,
+    /// Messages sent, including ones later dropped.
+    pub sent_messages: u64,
+    /// Messages lost to partitions, faults, or crashed destinations.
+    pub dropped_messages: u64,
+    /// The deepest the event queue has been.
+    pub peak_queue_depth: usize,
+    /// Simulated time reached.
+    pub sim_time: SimTime,
+}
+
+impl SimStats {
+    /// Events processed per wall-clock second, given the measured wall
+    /// time of the run.
+    pub fn events_per_sec(&self, wall_secs: f64) -> f64 {
+        if wall_secs > 0.0 {
+            self.events as f64 / wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Messages sent per wall-clock second.
+    pub fn msgs_per_sec(&self, wall_secs: f64) -> f64 {
+        if wall_secs > 0.0 {
+            self.sent_messages as f64 / wall_secs
+        } else {
+            0.0
+        }
+    }
+}
 
 /// A collection of `f64` samples with percentile and CDF queries.
 ///
@@ -122,6 +162,20 @@ impl Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn simstats_rates() {
+        let s = SimStats {
+            events: 1_000,
+            sent_messages: 500,
+            dropped_messages: 7,
+            peak_queue_depth: 42,
+            sim_time: SimTime::from_secs(2),
+        };
+        assert_eq!(s.events_per_sec(0.5), 2_000.0);
+        assert_eq!(s.msgs_per_sec(0.5), 1_000.0);
+        assert_eq!(s.events_per_sec(0.0), 0.0, "zero wall time is guarded");
+    }
 
     fn summary(vals: &[f64]) -> Summary {
         let mut s = Summary::new();

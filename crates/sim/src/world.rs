@@ -1,10 +1,12 @@
 //! The simulation world: actors, event queue, and FIFO links.
 
+use crate::linkstate::LinkState;
+use crate::stats::SimStats;
 use crate::{LinkFault, LinkModel, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Identifier of a simulated process (index into the actor table).
 pub type ProcessId = usize;
@@ -26,14 +28,22 @@ pub trait Actor<M> {
     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_, M>) {}
 }
 
+/// One buffered side effect: a point-to-point send or a fan-out.
+enum SendOp<M> {
+    One(ProcessId, M),
+    Many(Vec<ProcessId>, M),
+}
+
 /// Side-effect collector passed to actor callbacks.
 ///
 /// Sends and timers are buffered and applied by the world after the
-/// callback returns, which keeps actor code free of world borrows.
+/// callback returns, which keeps actor code free of world borrows. The
+/// buffers live on the world and are reused across callbacks, so steady
+/// state allocates nothing here.
 pub struct Ctx<'a, M> {
     now: SimTime,
     me: ProcessId,
-    sends: &'a mut Vec<(ProcessId, M)>,
+    sends: &'a mut Vec<SendOp<M>>,
     timers: &'a mut Vec<(SimTime, u64)>,
 }
 
@@ -50,7 +60,16 @@ impl<M> Ctx<'_, M> {
 
     /// Sends `msg` to `to`; it will arrive after the link delay.
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.sends.push((to, msg));
+        self.sends.push(SendOp::One(to, msg));
+    }
+
+    /// Fans `msg` out to every process in `targets`, in order. Equivalent
+    /// to one [`Ctx::send`] per target, except that the world samples each
+    /// link's partition/drop fate *before* cloning, so a message bound for
+    /// a dead link is never copied — and the last delivering target takes
+    /// the original without any clone at all.
+    pub fn send_many(&mut self, targets: Vec<ProcessId>, msg: M) {
+        self.sends.push(SendOp::Many(targets, msg));
     }
 
     /// Schedules [`Actor::on_timer`] with `token` after `delay`.
@@ -72,6 +91,47 @@ enum Event<M> {
     Start {
         pid: ProcessId,
     },
+}
+
+/// A queued event with its payload stored inline: ordering ignores the
+/// payload entirely, comparing only `(at, seq)`. Keeping the payload in
+/// the heap entry kills the seed's side `HashMap<u64, Event<M>>` — one
+/// heap push/pop per event instead of a push/pop plus two hashed probes.
+struct HeapEntry<M> {
+    at: SimTime,
+    seq: u64,
+    ev: Event<M>,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for HeapEntry<M> {}
+
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The fate of one routed send, decided before any payload is cloned.
+#[derive(Clone, Copy)]
+enum SendFate {
+    /// Blocked link or sampled drop: the message never enters the queue.
+    Dropped,
+    /// Normal delivery at `at`.
+    Deliver { at: SimTime },
+    /// A duplication fault fired: two deliveries.
+    DeliverDup { dup_at: SimTime, at: SimTime },
 }
 
 /// A deterministic discrete-event world hosting actors of type `A`.
@@ -97,22 +157,21 @@ pub struct World<M, A: Actor<M>> {
     link: LinkModel,
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
-    payloads: HashMap<u64, Event<M>>,
-    last_arrival: HashMap<(ProcessId, ProcessId), SimTime>,
-    /// When each process finishes handling its latest message (serial
-    /// service model; see [`LinkModel::set_service_ms`]).
-    busy_until: Vec<SimTime>,
+    /// The event queue, payloads inline (see [`HeapEntry`]).
+    queue: BinaryHeap<Reverse<HeapEntry<M>>>,
+    /// Flat per-link state: FIFO clamps, partitions, faults, service.
+    links: LinkState,
     down: Vec<bool>,
-    /// Directed links currently severed by a partition (lookup only, so
-    /// the unordered set does not affect determinism).
-    blocked: HashSet<(ProcessId, ProcessId)>,
-    /// Probabilistic faults per directed link (lookup only).
-    faults: HashMap<(ProcessId, ProcessId), LinkFault>,
     rng: StdRng,
     delivered_events: u64,
     sent_messages: u64,
     dropped_messages: u64,
+    peak_queue_depth: usize,
+    /// Reusable per-callback scratch buffers (see [`Ctx`]).
+    scratch_sends: Vec<SendOp<M>>,
+    scratch_timers: Vec<(SimTime, u64)>,
+    /// Reusable fate buffer for [`Ctx::send_many`] routing.
+    scratch_fates: Vec<SendFate>,
 }
 
 impl<M: Clone, A: Actor<M>> World<M, A> {
@@ -133,17 +192,17 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
             link,
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            payloads: HashMap::new(),
-            last_arrival: HashMap::new(),
-            busy_until: vec![SimTime::ZERO; n],
+            queue: BinaryHeap::with_capacity(4 * n),
+            links: LinkState::new(n),
             down: vec![false; n],
-            blocked: HashSet::new(),
-            faults: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
             delivered_events: 0,
             sent_messages: 0,
             dropped_messages: 0,
+            peak_queue_depth: 0,
+            scratch_sends: Vec::with_capacity(16),
+            scratch_timers: Vec::with_capacity(4),
+            scratch_fates: Vec::with_capacity(8),
         };
         for pid in 0..n {
             w.push(SimTime::ZERO, Event::Start { pid });
@@ -152,10 +211,12 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
     }
 
     fn push(&mut self, at: SimTime, ev: Event<M>) {
-        let id = self.seq;
+        let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse((at, id)));
-        self.payloads.insert(id, ev);
+        self.queue.push(Reverse(HeapEntry { at, seq, ev }));
+        if self.queue.len() > self.peak_queue_depth {
+            self.peak_queue_depth = self.queue.len();
+        }
     }
 
     /// Current simulated time.
@@ -199,6 +260,22 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
         self.dropped_messages
     }
 
+    /// The deepest the event queue has been so far.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue_depth
+    }
+
+    /// Snapshot of the run's throughput counters.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            events: self.delivered_events,
+            sent_messages: self.sent_messages,
+            dropped_messages: self.dropped_messages,
+            peak_queue_depth: self.peak_queue_depth,
+            sim_time: self.now,
+        }
+    }
+
     /// Marks a process as crashed (messages to it are dropped) or back up.
     /// Crash-stop with restart is all the SMR substrate needs: a restarted
     /// replica rejoins with its pre-crash state intact. Bringing a crashed
@@ -217,17 +294,17 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
     /// dropped until [`World::unblock_link`]. Building block for symmetric
     /// and asymmetric partitions.
     pub fn block_link(&mut self, from: ProcessId, to: ProcessId) {
-        self.blocked.insert((from, to));
+        self.links.set_blocked(from, to, true);
     }
 
     /// Restores a severed link.
     pub fn unblock_link(&mut self, from: ProcessId, to: ProcessId) {
-        self.blocked.remove(&(from, to));
+        self.links.set_blocked(from, to, false);
     }
 
     /// True if the directed link is currently severed.
     pub fn is_blocked(&self, from: ProcessId, to: ProcessId) -> bool {
-        self.blocked.contains(&(from, to))
+        self.links.is_blocked(from, to)
     }
 
     /// Symmetric partition: severs every link between the `a` side and the
@@ -259,21 +336,22 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
     /// Panics if a probability lies outside `[0, 1]`.
     pub fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: LinkFault) {
         fault.validate();
-        if fault.is_none() {
-            self.faults.remove(&(from, to));
-        } else {
-            self.faults.insert((from, to), fault);
-        }
+        self.links.set_fault(from, to, fault);
     }
 
     /// The fault currently installed on a link, if any.
     pub fn link_fault(&self, from: ProcessId, to: ProcessId) -> Option<LinkFault> {
-        self.faults.get(&(from, to)).copied()
+        let f = self.links.fault(from, to);
+        if f.is_none() {
+            None
+        } else {
+            Some(f)
+        }
     }
 
     /// Removes every probabilistic link fault (partitions are unaffected).
     pub fn clear_link_faults(&mut self) {
-        self.faults.clear();
+        self.links.clear_faults();
     }
 
     /// True if the process is currently crashed.
@@ -288,137 +366,191 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
         self.route_send(from, to, msg);
     }
 
-    /// Applies partitions and link faults to one send, scheduling zero, one,
-    /// or two delivery events.
-    fn route_send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+    /// Applies partitions and link faults to one send — sampling the fate
+    /// *before* the caller-visible payload handling, so dropped messages
+    /// are never cloned — and returns the scheduled arrival time(s).
+    #[inline]
+    fn plan_send(&mut self, from: ProcessId, to: ProcessId) -> SendFate {
         self.sent_messages += 1;
-        if self.blocked.contains(&(from, to)) {
+        if self.links.is_blocked(from, to) {
             self.dropped_messages += 1;
-            return;
+            return SendFate::Dropped;
         }
-        let fault = self.faults.get(&(from, to)).copied();
-        if let Some(f) = fault {
-            if f.drop > 0.0 && self.rng.random::<f64>() < f.drop {
+        let fault = self.links.fault(from, to);
+        let mut dup_at = None;
+        if !fault.is_none() {
+            if fault.drop > 0.0 && self.rng.random::<f64>() < fault.drop {
                 self.dropped_messages += 1;
-                return;
+                return SendFate::Dropped;
             }
-            if f.dup > 0.0 && self.rng.random::<f64>() < f.dup {
-                let at = self.arrival_time(from, to, Some(f));
+            if fault.dup > 0.0 && self.rng.random::<f64>() < fault.dup {
+                dup_at = Some(self.arrival_time(from, to, fault));
                 self.sent_messages += 1;
+            }
+        }
+        let at = self.arrival_time(from, to, fault);
+        match dup_at {
+            Some(dup_at) => SendFate::DeliverDup { dup_at, at },
+            None => SendFate::Deliver { at },
+        }
+    }
+
+    /// Routes one owned send, scheduling zero, one, or two delivery events.
+    fn route_send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        match self.plan_send(from, to) {
+            SendFate::Dropped => {}
+            SendFate::Deliver { at } => self.push(at, Event::Deliver { from, to, msg }),
+            SendFate::DeliverDup { dup_at, at } => {
                 self.push(
-                    at,
+                    dup_at,
                     Event::Deliver {
                         from,
                         to,
                         msg: msg.clone(),
                     },
                 );
+                self.push(at, Event::Deliver { from, to, msg });
             }
         }
-        let at = self.arrival_time(from, to, fault);
-        self.push(at, Event::Deliver { from, to, msg });
     }
 
-    fn arrival_time(
-        &mut self,
-        from: ProcessId,
-        to: ProcessId,
-        fault: Option<LinkFault>,
-    ) -> SimTime {
-        let mut delay = self.link.sample_delay(from, to, &mut self.rng);
-        let mut reordered = false;
-        if let Some(f) = fault {
-            delay += f.extra_delay;
-            reordered = f.reorder > 0.0 && self.rng.random::<f64>() < f.reorder;
+    /// Routes a fan-out ([`Ctx::send_many`]): every link's fate is sampled
+    /// first (same RNG draw order as the equivalent per-target sends),
+    /// then clones are made only for targets that actually receive a
+    /// delivery event — the last *delivering* target consumes the
+    /// original message, so k deliveries cost exactly k − 1 clones.
+    fn route_fanout(&mut self, from: ProcessId, targets: &[ProcessId], msg: M) {
+        let mut fates = std::mem::take(&mut self.scratch_fates);
+        debug_assert!(fates.is_empty());
+        let mut last_delivering = None;
+        for (i, &to) in targets.iter().enumerate() {
+            let fate = self.plan_send(from, to);
+            if !matches!(fate, SendFate::Dropped) {
+                last_delivering = Some(i);
+            }
+            fates.push(fate);
         }
+        // Planning never touches the queue, so pushing afterwards keeps
+        // event seq numbers identical to the interleaved ordering.
+        let mut msg = Some(msg);
+        for (i, fate) in fates.drain(..).enumerate() {
+            let to = targets[i];
+            match fate {
+                SendFate::Dropped => {}
+                SendFate::Deliver { at } => {
+                    let m = if Some(i) == last_delivering {
+                        msg.take().expect("each target handled once")
+                    } else {
+                        msg.as_ref().expect("taken only at the last").clone()
+                    };
+                    self.push(at, Event::Deliver { from, to, msg: m });
+                }
+                SendFate::DeliverDup { dup_at, at } => {
+                    let m = msg.as_ref().expect("taken only at the last");
+                    self.push(
+                        dup_at,
+                        Event::Deliver {
+                            from,
+                            to,
+                            msg: m.clone(),
+                        },
+                    );
+                    let m = if Some(i) == last_delivering {
+                        msg.take().expect("each target handled once")
+                    } else {
+                        msg.as_ref().expect("taken only at the last").clone()
+                    };
+                    self.push(at, Event::Deliver { from, to, msg: m });
+                }
+            }
+        }
+        self.scratch_fates = fates;
+    }
+
+    fn arrival_time(&mut self, from: ProcessId, to: ProcessId, fault: LinkFault) -> SimTime {
+        let mut delay = self.link.sample_delay(from, to, &mut self.rng);
+        delay += fault.extra_delay;
+        let reordered = fault.reorder > 0.0 && self.rng.random::<f64>() < fault.reorder;
         let mut at = self.now + delay;
         // FIFO clamp: never deliver before an earlier message on this link
         // — unless the link's reorder fault fires, in which case the
         // message may overtake (and does not advance the clamp either).
         if !reordered {
-            if let Some(&last) = self.last_arrival.get(&(from, to)) {
-                if at < last {
-                    at = last;
-                }
+            let last = self.links.last_arrival(from, to);
+            if at < last {
+                at = last;
             }
         }
         // Serial service: the receiver handles one message at a time, each
         // occupying it for its configured service time.
         let svc = self.link.service(to);
         if svc > SimTime::ZERO {
-            at = at.max(self.busy_until[to]) + svc;
-            self.busy_until[to] = at;
+            at = at.max(self.links.busy_until(to)) + svc;
+            self.links.set_busy_until(to, at);
         }
         if !reordered {
-            self.last_arrival.insert((from, to), at);
+            self.links.set_last_arrival(from, to, at);
         }
         at
     }
 
     /// Processes the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse((at, id))) = self.queue.pop() else {
+        let Some(Reverse(HeapEntry { at, ev, .. })) = self.queue.pop() else {
             return false;
         };
-        let ev = self
-            .payloads
-            .remove(&id)
-            .expect("every queued id has a payload");
         self.now = at;
         self.delivered_events += 1;
 
-        let mut sends = Vec::new();
-        let mut timers = Vec::new();
         match ev {
             Event::Start { pid } => {
                 if !self.down[pid] {
-                    let mut ctx = Ctx {
-                        now: self.now,
-                        me: pid,
-                        sends: &mut sends,
-                        timers: &mut timers,
-                    };
-                    self.actors[pid].on_start(&mut ctx);
-                    self.apply(pid, sends, timers);
+                    self.invoke(pid, |actor, ctx| actor.on_start(ctx));
                 }
             }
             Event::Deliver { from, to, msg } => {
                 if self.down[to] {
                     self.dropped_messages += 1;
                 } else {
-                    let mut ctx = Ctx {
-                        now: self.now,
-                        me: to,
-                        sends: &mut sends,
-                        timers: &mut timers,
-                    };
-                    self.actors[to].on_message(from, msg, &mut ctx);
-                    self.apply(to, sends, timers);
+                    self.invoke(to, |actor, ctx| actor.on_message(from, msg, ctx));
                 }
             }
             Event::Timer { pid, token } => {
                 if !self.down[pid] {
-                    let mut ctx = Ctx {
-                        now: self.now,
-                        me: pid,
-                        sends: &mut sends,
-                        timers: &mut timers,
-                    };
-                    self.actors[pid].on_timer(token, &mut ctx);
-                    self.apply(pid, sends, timers);
+                    self.invoke(pid, |actor, ctx| actor.on_timer(token, ctx));
                 }
             }
         }
         true
     }
 
-    fn apply(&mut self, pid: ProcessId, sends: Vec<(ProcessId, M)>, timers: Vec<(SimTime, u64)>) {
-        for (to, msg) in sends {
-            self.route_send(pid, to, msg);
+    /// Runs one actor callback with the reusable scratch buffers, then
+    /// applies the buffered sends and timers.
+    fn invoke(&mut self, pid: ProcessId, f: impl FnOnce(&mut A, &mut Ctx<'_, M>)) {
+        let mut sends = std::mem::take(&mut self.scratch_sends);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        debug_assert!(sends.is_empty() && timers.is_empty());
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                me: pid,
+                sends: &mut sends,
+                timers: &mut timers,
+            };
+            f(&mut self.actors[pid], &mut ctx);
         }
-        for (at, token) in timers {
+        for op in sends.drain(..) {
+            match op {
+                SendOp::One(to, msg) => self.route_send(pid, to, msg),
+                SendOp::Many(targets, msg) => self.route_fanout(pid, &targets, msg),
+            }
+        }
+        for (at, token) in timers.drain(..) {
             self.push(at, Event::Timer { pid, token });
         }
+        // Hand the (now empty) buffers back for the next callback.
+        self.scratch_sends = sends;
+        self.scratch_timers = timers;
     }
 
     /// Runs until the queue drains or simulated time exceeds `deadline`,
@@ -428,8 +560,8 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(&Reverse((at, _))) = self.queue.peek() {
-            if at > deadline {
+        while let Some(Reverse(entry)) = self.queue.peek() {
+            if entry.at > deadline {
                 break;
             }
             self.step();
@@ -756,6 +888,156 @@ mod tests {
         // Bringing an already-up process "up" is a no-op.
         w.set_down(0, false);
         assert_eq!(w.run_to_quiescence(100), 0);
+    }
+
+    #[test]
+    fn stats_report_throughput_counters() {
+        let a = Echo {
+            initial: (0..10).map(|k| (1usize, k)).collect(),
+            ..Default::default()
+        };
+        let mut w = two_site_world(vec![a, Echo::default()], 0.0);
+        w.run_to_quiescence(1_000);
+        let s = w.stats();
+        assert_eq!(s.events, w.processed_events());
+        assert_eq!(s.sent_messages, w.sent_messages());
+        assert!(s.peak_queue_depth >= 10, "ten pings queued at once");
+        assert_eq!(s.peak_queue_depth, w.peak_queue_depth());
+        assert!(s.events_per_sec(1.0) > 0.0);
+        assert_eq!(s.sim_time, w.now());
+    }
+
+    /// A message that counts how often it is cloned.
+    #[derive(Default)]
+    struct CloneCounted(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+
+    impl Clone for CloneCounted {
+        fn clone(&self) -> Self {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            CloneCounted(self.0.clone())
+        }
+    }
+
+    struct Fanner {
+        targets: Vec<ProcessId>,
+        counter: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        received: u32,
+    }
+
+    impl Actor<CloneCounted> for Fanner {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, CloneCounted>) {
+            if !self.targets.is_empty() {
+                ctx.send_many(self.targets.clone(), CloneCounted(self.counter.clone()));
+            }
+        }
+        fn on_message(&mut self, _: ProcessId, _: CloneCounted, _: &mut Ctx<'_, CloneCounted>) {
+            self.received += 1;
+        }
+    }
+
+    fn fanout_world(
+        blocked: &[(ProcessId, ProcessId)],
+    ) -> (
+        World<CloneCounted, Fanner>,
+        std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    ) {
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mk = |targets: Vec<ProcessId>| Fanner {
+            targets,
+            counter: counter.clone(),
+            received: 0,
+        };
+        let actors = vec![mk(vec![1, 2, 3]), mk(vec![]), mk(vec![]), mk(vec![])];
+        let m = LatencyMatrix::zero(4);
+        let sites = (0..4).map(|i| GroupId(i as u16)).collect();
+        let mut w = World::new(actors, LinkModel::new(m, sites, 0.0), 3);
+        for &(f, t) in blocked {
+            w.block_link(f, t);
+        }
+        (w, counter)
+    }
+
+    #[test]
+    fn send_many_clones_once_per_extra_delivery() {
+        // Three delivering targets: the last takes the original, so only
+        // two clones happen (the counter itself is cloned once per clone).
+        let (mut w, counter) = fanout_world(&[]);
+        w.run_to_quiescence(100);
+        for pid in 1..=3 {
+            assert_eq!(w.actor(pid).received, 1, "target {pid} got its copy");
+        }
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "fan-out to k targets costs k − 1 clones"
+        );
+    }
+
+    #[test]
+    fn send_many_skips_clones_for_dead_links() {
+        // First two targets blocked, only the last delivers: it takes the
+        // original outright, so the blocked links cost zero clones — each
+        // link's fate is sampled before the payload is touched.
+        let (mut w, counter) = fanout_world(&[(0, 1), (0, 2)]);
+        w.run_to_quiescence(100);
+        assert_eq!(w.actor(1).received, 0);
+        assert_eq!(w.actor(2).received, 0);
+        assert_eq!(w.actor(3).received, 1);
+        assert_eq!(w.dropped_messages(), 2);
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "dropped targets never clone"
+        );
+    }
+
+    #[test]
+    fn send_many_gives_original_to_last_delivering_target() {
+        // The *last delivering* target takes the original even when later
+        // targets drop: two deliveries cost exactly one clone.
+        let (mut w, counter) = fanout_world(&[(0, 3)]);
+        w.run_to_quiescence(100);
+        assert_eq!(w.actor(1).received, 1);
+        assert_eq!(w.actor(2).received, 1);
+        assert_eq!(w.actor(3).received, 0);
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "k deliveries cost k − 1 clones regardless of trailing drops"
+        );
+    }
+
+    #[test]
+    fn send_many_matches_per_target_sends() {
+        // A fan-out must schedule exactly like the equivalent sequence of
+        // point-to-point sends: same arrival times, same FIFO clamps.
+        struct Single;
+        impl Actor<u8> for Single {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                ctx.send(1, 1);
+                ctx.send(2, 1);
+            }
+            fn on_message(&mut self, _: ProcessId, _: u8, _: &mut Ctx<'_, u8>) {}
+        }
+        struct Many;
+        impl Actor<u8> for Many {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                ctx.send_many(vec![1, 2], 1);
+            }
+            fn on_message(&mut self, _: ProcessId, _: u8, _: &mut Ctx<'_, u8>) {}
+        }
+        let m = LatencyMatrix::zero(3);
+        let sites: Vec<GroupId> = (0..3).map(|i| GroupId(i as u16)).collect();
+        let mut w1 = World::new(
+            vec![Single, Single, Single],
+            LinkModel::new(m.clone(), sites.clone(), 3.0),
+            9,
+        );
+        let mut w2 = World::new(vec![Many, Many, Many], LinkModel::new(m, sites, 3.0), 9);
+        w1.run_to_quiescence(100);
+        w2.run_to_quiescence(100);
+        assert_eq!(w1.processed_events(), w2.processed_events());
+        assert_eq!(w1.sent_messages(), w2.sent_messages());
     }
 
     #[test]

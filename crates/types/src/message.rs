@@ -1,6 +1,7 @@
 //! Multicast messages and their identifiers.
 
 use crate::{DestSet, Error, GroupId, Result};
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a client process (`m.sender` in the paper).
@@ -46,20 +47,26 @@ impl std::fmt::Display for MsgId {
 /// Application payload carried by a message.
 ///
 /// The protocols never inspect the payload; it only contributes to wire
-/// size (Figure 8 measures bytes on the wire). A thin wrapper over
-/// `Vec<u8>` keeps the engines copy-cheap while staying serde-friendly.
-#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub struct Payload(pub Vec<u8>);
+/// size (Figure 8 measures bytes on the wire). The wrapper is backed by a
+/// reference-counted [`Bytes`] buffer, so cloning a message — which the
+/// engine does on every deliver, forward, and replicated-outbox entry —
+/// bumps a refcount instead of copying the buffer.
+///
+/// On the wire a payload encodes as raw length-prefixed bytes (not a
+/// serde sequence), which both shrinks the encoding and skips the
+/// per-element dispatch on the codec hot path.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Payload(pub Bytes);
 
 impl Payload {
     /// Creates an empty payload.
     pub fn empty() -> Self {
-        Payload(Vec::new())
+        Payload(Bytes::new())
     }
 
     /// Creates a payload of `n` zero bytes (sized filler for benchmarks).
     pub fn zeroes(n: usize) -> Self {
-        Payload(vec![0; n])
+        Payload(vec![0; n].into())
     }
 
     /// Payload length in bytes.
@@ -71,17 +78,61 @@ impl Payload {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// The payload bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        self.0.as_slice()
+    }
 }
 
 impl From<Vec<u8>> for Payload {
     fn from(v: Vec<u8>) -> Self {
-        Payload(v)
+        Payload(v.into())
     }
 }
 
 impl From<&[u8]> for Payload {
     fn from(v: &[u8]) -> Self {
-        Payload(v.to_vec())
+        Payload(Bytes::copy_from_slice(v))
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Self {
+        Payload(b)
+    }
+}
+
+impl Serialize for Payload {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self.0.as_slice())
+    }
+}
+
+impl<'de> Deserialize<'de> for Payload {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        struct PayloadVisitor;
+        impl<'de> serde::de::Visitor<'de> for PayloadVisitor {
+            type Value = Payload;
+            fn expecting(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
+                f.write_str("a byte buffer")
+            }
+            fn visit_bytes<E: serde::de::Error>(self, v: &[u8]) -> std::result::Result<Payload, E> {
+                Ok(Payload(Bytes::copy_from_slice(v)))
+            }
+            fn visit_byte_buf<E: serde::de::Error>(
+                self,
+                v: Vec<u8>,
+            ) -> std::result::Result<Payload, E> {
+                Ok(Payload(v.into()))
+            }
+        }
+        deserializer.deserialize_byte_buf(PayloadVisitor)
     }
 }
 

@@ -15,7 +15,7 @@
 //! * structs and tuples are field concatenations (the schema is known by
 //!   both sides, as with all FlexCast peers).
 //!
-//! Entry points: [`to_bytes`], [`from_bytes`], and [`encoded_size`].
+//! Entry points: [`to_bytes`], [`from_bytes`], and [`encoded_len`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +25,7 @@ mod ser;
 mod varint;
 
 pub use de::{from_bytes, Deserializer};
-pub use ser::{encoded_size, to_bytes, Serializer};
+pub use ser::{encoded_len, to_bytes, Serializer};
 
 use flexcast_types::Error;
 
@@ -78,7 +78,7 @@ mod tests {
 
     fn roundtrip<T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug>(v: &T) {
         let bytes = to_bytes(v).unwrap();
-        assert_eq!(bytes.len(), encoded_size(v).unwrap());
+        assert_eq!(bytes.len(), encoded_len(v).unwrap());
         let back: T = from_bytes(&bytes).unwrap();
         assert_eq!(&back, v);
     }
@@ -176,7 +176,7 @@ mod tests {
         let m = Message::new(
             MsgId::new(ClientId(1), 2),
             DestSet::from_iter([GroupId(0), GroupId(5)]),
-            Payload(vec![9; 32]),
+            Payload(vec![9; 32].into()),
         )
         .unwrap();
         roundtrip(&m);
@@ -264,7 +264,7 @@ mod tests {
 
         #[test]
         fn prop_size_matches_encoding(v in proptest::collection::vec(any::<u64>(), 0..64)) {
-            prop_assert_eq!(encoded_size(&v).unwrap(), to_bytes(&v).unwrap().len());
+            prop_assert_eq!(encoded_len(&v).unwrap(), to_bytes(&v).unwrap().len());
         }
 
         #[test]

@@ -4,16 +4,22 @@ use crate::varint::{size_u128, write_u128, zigzag};
 use crate::WireError;
 use serde::ser::{self, Serialize};
 
-/// Serializes `value` into a fresh byte vector.
+/// Serializes `value` into a fresh byte vector, pre-sized from
+/// [`encoded_len`] so the writer never reallocates mid-encode.
 pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, flexcast_types::Error> {
-    let mut ser = Serializer { out: Vec::new() };
+    let cap = encoded_len(value)?;
+    let mut ser = Serializer {
+        out: Vec::with_capacity(cap),
+    };
     value.serialize(&mut ser).map_err(|e| e.0)?;
+    debug_assert_eq!(ser.out.len(), cap, "size pass and write pass agree");
     Ok(ser.out)
 }
 
 /// Returns the exact number of bytes [`to_bytes`] would produce, without
-/// allocating the encoding. Used by the traffic accounting in Figure 8.
-pub fn encoded_size<T: Serialize>(value: &T) -> Result<usize, flexcast_types::Error> {
+/// allocating the encoding. Used as the capacity hint for [`to_bytes`]
+/// and by the traffic accounting in Figure 8.
+pub fn encoded_len<T: Serialize>(value: &T) -> Result<usize, flexcast_types::Error> {
     let mut ser = SizeSerializer { size: 0 };
     value.serialize(&mut ser).map_err(|e| e.0)?;
     Ok(ser.size)

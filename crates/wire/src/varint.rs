@@ -3,6 +3,7 @@
 use crate::WireError;
 
 /// Appends `v` as an LEB128 varint (7 bits per byte, MSB = continuation).
+#[inline]
 pub fn write_u128(out: &mut Vec<u8>, mut v: u128) {
     loop {
         let byte = (v & 0x7F) as u8;
@@ -16,6 +17,7 @@ pub fn write_u128(out: &mut Vec<u8>, mut v: u128) {
 }
 
 /// Number of bytes [`write_u128`] would append.
+#[inline]
 pub fn size_u128(v: u128) -> usize {
     if v == 0 {
         1
@@ -25,6 +27,7 @@ pub fn size_u128(v: u128) -> usize {
 }
 
 /// Reads an LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
+#[inline]
 pub fn read_u128(buf: &[u8], pos: &mut usize) -> Result<u128, WireError> {
     let mut v: u128 = 0;
     let mut shift = 0u32;
@@ -46,11 +49,13 @@ pub fn read_u128(buf: &[u8], pos: &mut usize) -> Result<u128, WireError> {
 
 /// Zig-zag maps a signed integer onto an unsigned one so that small
 /// magnitudes (of either sign) encode in few bytes.
+#[inline]
 pub fn zigzag(v: i128) -> u128 {
     ((v << 1) ^ (v >> 127)) as u128
 }
 
 /// Inverse of [`zigzag`].
+#[inline]
 pub fn unzigzag(v: u128) -> i128 {
     ((v >> 1) as i128) ^ -((v & 1) as i128)
 }

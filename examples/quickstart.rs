@@ -10,7 +10,7 @@
 //! ```
 
 use flexcast_core::{FlexCastGroup, Output};
-use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId, Payload};
+use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId};
 
 /// Routes engine outputs synchronously until quiescence, printing every
 /// delivery. Returns the per-group delivery log.
@@ -48,7 +48,7 @@ fn main() {
         Message::new(
             MsgId::new(client, seq),
             DestSet::try_from_ranks(ranks.iter().copied()).unwrap(),
-            Payload(body.as_bytes().to_vec()),
+            body.as_bytes().into(),
         )
         .unwrap()
     };

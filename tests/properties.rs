@@ -147,7 +147,7 @@ fn identical_seeds_identical_results_per_protocol() {
         let a = run_on(&cfg, &regions::aws12());
         let b = run_on(&cfg, &regions::aws12());
         assert_eq!(a.completed, b.completed);
-        assert_eq!(a.events, b.events);
+        assert_eq!(a.stats.events, b.stats.events);
         assert_eq!(a.trace.len(), b.trace.len());
         for (ta, tb) in a.trace.iter().zip(&b.trace) {
             let ida: Vec<_> = ta.iter().map(|e| e.id).collect();

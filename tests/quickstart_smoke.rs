@@ -7,7 +7,7 @@
 //! directly) would still compile.
 
 use flexcast::core_protocol::{FlexCastGroup, Output};
-use flexcast::types::{ClientId, DestSet, GroupId, Message, MsgId, Payload};
+use flexcast::types::{ClientId, DestSet, GroupId, Message, MsgId};
 
 /// Synchronously routes engine outputs until quiescence.
 fn pump(
@@ -40,7 +40,7 @@ fn quickstart_scenario_holds_through_reexports() {
         Message::new(
             MsgId::new(client, seq),
             DestSet::try_from_ranks(ranks.iter().copied()).unwrap(),
-            Payload(body.as_bytes().to_vec()),
+            body.as_bytes().into(),
         )
         .unwrap()
     };
@@ -80,8 +80,5 @@ fn quickstart_scenario_holds_through_reexports() {
     let bytes = flexcast::wire::to_bytes(&m1).expect("encode");
     let back: flexcast::types::Message = flexcast::wire::from_bytes(&bytes).expect("decode");
     assert_eq!(back, m1);
-    assert_eq!(
-        flexcast::wire::encoded_size(&m1).expect("size"),
-        bytes.len()
-    );
+    assert_eq!(flexcast::wire::encoded_len(&m1).expect("size"), bytes.len());
 }

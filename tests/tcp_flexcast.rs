@@ -12,7 +12,7 @@ fn msg(seq: u32, ranks: &[u16]) -> Message {
     Message::new(
         MsgId::new(ClientId(1), seq),
         DestSet::try_from_ranks(ranks.iter().copied()).unwrap(),
-        Payload(vec![seq as u8; 16]),
+        Payload(vec![seq as u8; 16].into()),
     )
     .unwrap()
 }

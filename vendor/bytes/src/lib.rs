@@ -1,10 +1,125 @@
 //! Offline, API-compatible subset of [bytes](https://docs.rs/bytes).
 //!
-//! `BytesMut` is a growable byte buffer (a `Vec<u8>` with a read cursor),
-//! and `Buf`/`BufMut` cover the accessor methods the workspace's framing
-//! code uses. Semantics match upstream for the covered surface.
+//! `Bytes` is a cheaply cloneable shared byte buffer (`Arc<[u8]>` under
+//! the hood), `BytesMut` is a growable byte buffer (a `Vec<u8>` with a
+//! read cursor), and `Buf`/`BufMut` cover the accessor methods the
+//! workspace's framing code uses. Semantics match upstream for the
+//! covered surface.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// Cloning a `Bytes` bumps a refcount instead of copying the buffer, so
+/// fanning one payload out to many receivers is O(1) per receiver. This
+/// is what makes the simulator's `Message` clones on the deliver/forward
+/// hot path allocation-free.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer (no allocation is shared until filled).
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a fresh shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Self {
+        Bytes::copy_from_slice(&v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.data.cmp(&other.data)
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({}B)", self.data.len())
+    }
+}
 
 /// Read access to a byte cursor.
 pub trait Buf {
@@ -206,6 +321,26 @@ impl BufMut for BytesMut {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bytes_shares_not_copies() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_slice(), b.as_slice()), "clone shares");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.to_vec(), vec![1, 2, 3]);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(format!("{a:?}"), "Bytes(3B)");
+    }
+
+    #[test]
+    fn bytes_slice_comparisons() {
+        let a = Bytes::copy_from_slice(b"abc");
+        assert_eq!(a, *b"abc".as_slice());
+        assert_eq!(&a[1..], b"bc");
+        assert!(a < Bytes::copy_from_slice(b"abd"));
+    }
 
     #[test]
     fn bytesmut_put_get_roundtrip() {
