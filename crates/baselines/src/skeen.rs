@@ -1,7 +1,8 @@
 //! Skeen's genuine distributed atomic multicast.
 //!
-//! The protocol attributed to D. Skeen (via Birman & Joseph [2] in the
-//! paper's bibliography): a multicast message is sent to all destinations;
+//! The protocol attributed to D. Skeen (via Birman & Joseph, reference 2
+//! in the paper's bibliography): a multicast message is sent to all
+//! destinations;
 //! each destination stamps it with a logical-clock timestamp and exchanges
 //! the stamp with the other destinations; the message's *final* timestamp
 //! is the maximum of the stamps, and destinations deliver messages in

@@ -23,6 +23,7 @@ fn short(protocol: ProtocolKind, locality: f64, mode: WorkloadMode) -> Experimen
         flush_period: Some(SimTime::from_ms(250.0)),
         server_service_ms: 0.05,
         server_processing_ms: 20.0,
+        advert_stride: Some(16),
     }
 }
 

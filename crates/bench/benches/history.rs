@@ -3,7 +3,7 @@
 //! Figure 8 attributes to the protocol.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexcast_core::{History, HistoryDelta, MsgRef};
+use flexcast_core::{History, HistoryDelta, MsgRef, TaggedEdge};
 use flexcast_types::{ClientId, DestSet, GroupId, MsgId};
 use std::collections::BTreeSet;
 use std::hint::black_box;
@@ -16,10 +16,13 @@ fn id(seq: u32) -> MsgId {
 fn chain(n: u32) -> History {
     let mut h = History::new();
     for s in 0..n {
-        h.record_delivery(MsgRef {
-            id: id(s),
-            dst: DestSet::from_iter([GroupId((s % 12) as u16), GroupId(((s + 1) % 12) as u16)]),
-        });
+        h.record_delivery(
+            MsgRef {
+                id: id(s),
+                dst: DestSet::from_iter([GroupId((s % 12) as u16), GroupId(((s + 1) % 12) as u16)]),
+            },
+            GroupId(3),
+        );
     }
     h
 }
@@ -32,7 +35,12 @@ fn delta(n: u32) -> HistoryDelta {
             dst: DestSet::from_iter([GroupId(0), GroupId(5)]),
         });
         if s > 0 {
-            d.edges.push((id(1_000_000 + s - 1), id(1_000_000 + s)));
+            d.edges.push(TaggedEdge {
+                creator: GroupId(7),
+                idx: s - 1,
+                before: id(1_000_000 + s - 1),
+                after: id(1_000_000 + s),
+            });
         }
     }
     d

@@ -2,7 +2,7 @@
 //! message-size accounting.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexcast_core::{HistoryDelta, MsgRef, Packet};
+use flexcast_core::{HistoryDelta, MsgRef, Packet, TaggedEdge};
 use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId, Payload};
 use std::hint::black_box;
 
@@ -14,8 +14,12 @@ fn packet(hist_len: u32) -> Packet {
             dst: DestSet::from_iter([GroupId(0), GroupId(3)]),
         });
         if s > 0 {
-            hist.edges
-                .push((MsgId::new(ClientId(1), s - 1), MsgId::new(ClientId(1), s)));
+            hist.edges.push(TaggedEdge {
+                creator: GroupId(0),
+                idx: s - 1,
+                before: MsgId::new(ClientId(1), s - 1),
+                after: MsgId::new(ClientId(1), s),
+            });
         }
     }
     Packet::Msg {

@@ -29,6 +29,7 @@ fn main() {
             flush_period: (flush_ms > 0.0).then(|| SimTime::from_ms(flush_ms)),
             server_service_ms: 0.05,
             server_processing_ms: 20.0,
+            advert_stride: None,
         };
         let mut result = run(&cfg);
         result.check.assert_ok();

@@ -1,24 +1,34 @@
 //! Event-queue throughput sweep: the full FlexCast world at 12, 32, 64,
-//! and 128 groups, reporting wall-clock events/s, msgs/s, and peak queue
-//! depth — the repo's committed perf trajectory (`BENCH_events.json`).
+//! and 128 groups, reporting wall-clock events/s, msgs/s, peak queue
+//! depth, and — since the delta-suppression protocol (DESIGN.md §8) —
+//! per-cell history-delta duplicate and suppression ratios. Results are
+//! the repo's committed perf trajectory (`BENCH_events.json`).
+//!
+//! Every world size runs twice: once with the plain protocol and once
+//! with watermark advertisements enabled, so the JSON (and the CI log —
+//! no artifact download needed) shows the duplicate-entry reduction and
+//! the events/s delta side by side.
 //!
 //! The 12-group cell runs on the paper's AWS matrix; larger sizes extend
 //! it with a deterministic WAN ring (the `DestSet` bitset caps the system
 //! at 128 groups, which is exactly the top cell). The workload is the
 //! closed-loop gTPC-C harness with server processing delays zeroed out, so
 //! the simulator hot path — queue push/pop, link-state lookups, payload
-//! fan-out — dominates the profile rather than simulated waiting.
+//! fan-out, history merges — dominates the profile rather than simulated
+//! waiting.
 //!
 //! ```sh
 //! cargo run --release --bin events_sweep                     # full sweep
 //! cargo run --release --bin events_sweep -- --smoke          # CI-sized
 //! cargo run --release --bin events_sweep -- --min-eps 300000 # regression floor
+//! cargo run --release --bin events_sweep -- --stride 8       # advert stride
 //! ```
 //!
 //! `--min-eps N` makes the process exit non-zero if the 12-group cell
 //! falls below `N` events/s — the CI regression guard.
 
 use flexcast_gtpcc::WorkloadMode;
+use flexcast_harness::actors::Node;
 use flexcast_harness::experiment::run_world_on;
 use flexcast_harness::{ExperimentConfig, ProtocolKind};
 use flexcast_overlay::{regions, CDagOrder, LatencyMatrix};
@@ -26,8 +36,15 @@ use flexcast_sim::{Actor, Ctx, LinkModel, ProcessId, SimTime, World};
 use flexcast_types::GroupId;
 use std::time::Instant;
 
+/// Advertisement stride used by the suppressed cells unless `--stride`
+/// overrides it: small enough that watermarks stay fresh relative to the
+/// multi-hop relay delays suppression races against, large enough that
+/// advert traffic stays a fraction of protocol traffic.
+const DEFAULT_STRIDE: u32 = 1024;
+
 /// One measured cell of the sweep.
 struct Cell {
+    kind: &'static str,
     n_groups: usize,
     events: u64,
     sent: u64,
@@ -36,6 +53,26 @@ struct Cell {
     sim_secs: f64,
     events_per_sec: f64,
     msgs_per_sec: f64,
+    /// History-delta entries received across all engines (merge path).
+    delta_entries: u64,
+    /// Entries among them the receiving history had already processed.
+    delta_dups: u64,
+    /// Entries withheld from outgoing deltas via advertised watermarks.
+    suppressed: u64,
+    /// Advertisement packets sent.
+    adverts: u64,
+    /// Completed closed-loop transactions (0 for the queue cell).
+    completed: u64,
+}
+
+impl Cell {
+    fn dup_ratio(&self) -> f64 {
+        if self.delta_entries == 0 {
+            0.0
+        } else {
+            self.delta_dups as f64 / self.delta_entries as f64
+        }
+    }
 }
 
 /// The 12-group cell is the real AWS matrix; larger sizes place the extra
@@ -109,7 +146,8 @@ fn run_queue_cell(smoke: bool) -> Cell {
     let wall_secs = start.elapsed().as_secs_f64();
     let stats = world.stats();
     Cell {
-        n_groups: 0,
+        kind: "queue12",
+        n_groups: 12,
         events: stats.events,
         sent: stats.sent_messages,
         peak_queue_depth: stats.peak_queue_depth,
@@ -117,10 +155,15 @@ fn run_queue_cell(smoke: bool) -> Cell {
         sim_secs: stats.sim_time.as_secs(),
         events_per_sec: stats.events_per_sec(wall_secs),
         msgs_per_sec: stats.msgs_per_sec(wall_secs),
+        delta_entries: 0,
+        delta_dups: 0,
+        suppressed: 0,
+        adverts: 0,
+        completed: 0,
     }
 }
 
-fn run_cell(n_groups: usize, smoke: bool) -> Cell {
+fn run_cell(n_groups: usize, smoke: bool, advert_stride: Option<u32>) -> Cell {
     let matrix = synthetic_matrix(n_groups);
     let order = CDagOrder::nearest_neighbor_chain(&matrix, GroupId(0));
     let cfg = ExperimentConfig {
@@ -140,12 +183,40 @@ fn run_cell(n_groups: usize, smoke: bool) -> Cell {
         // Zero software-path delay: the sweep measures the simulator's own
         // hot path, not simulated waiting.
         server_processing_ms: 0.0,
+        advert_stride,
     };
     let start = Instant::now();
     let world = run_world_on(&cfg, &matrix);
     let wall_secs = start.elapsed().as_secs_f64();
     let stats = world.stats();
+
+    // Aggregate history-delta duplicate/suppression counters across the
+    // protocol engines.
+    let (mut entries, mut dups, mut suppressed, mut adverts) = (0u64, 0u64, 0u64, 0u64);
+    let mut completed = 0u64;
+    for pid in 0..world.len() {
+        match world.actor(pid) {
+            Node::Server(s) => {
+                if let Some(engine) = s.flex_engine() {
+                    let ms = engine.merge_stats();
+                    let st = engine.suppression_stats();
+                    entries += ms.entries_in();
+                    dups += ms.entries_dup();
+                    suppressed += st.suppressed_entries();
+                    adverts += st.adverts_sent;
+                }
+            }
+            Node::Client(c) => completed += c.completed,
+            Node::Flusher(_) => {}
+        }
+    }
+
     Cell {
+        kind: if advert_stride.is_some() {
+            "world"
+        } else {
+            "world-plain"
+        },
         n_groups,
         events: stats.events,
         sent: stats.sent_messages,
@@ -154,21 +225,31 @@ fn run_cell(n_groups: usize, smoke: bool) -> Cell {
         sim_secs: cfg.duration.as_secs(),
         events_per_sec: stats.events_per_sec(wall_secs),
         msgs_per_sec: stats.msgs_per_sec(wall_secs),
+        delta_entries: entries,
+        delta_dups: dups,
+        suppressed,
+        adverts,
+        completed,
     }
 }
 
-fn write_json(cells: &[Cell], path: &str) {
+fn write_json(cells: &[Cell], stride: u32, path: &str) {
     use std::fmt::Write as _;
     let mut out = String::new();
-    out.push_str("{\n  \"bench\": \"events_sweep\",\n  \"cells\": [\n");
+    let _ = writeln!(
+        out,
+        "{{\n  \"bench\": \"events_sweep\",\n  \"advert_stride\": {stride},\n  \"cells\": ["
+    );
     for (i, c) in cells.iter().enumerate() {
         let _ = writeln!(
             out,
             "    {{\"kind\": \"{}\", \"n_groups\": {}, \"events\": {}, \"msgs\": {}, \
              \"events_per_sec\": {:.0}, \"msgs_per_sec\": {:.0}, \
-             \"peak_queue_depth\": {}, \"wall_secs\": {:.3}, \"sim_secs\": {:.3}}}{}",
-            if c.n_groups == 0 { "queue12" } else { "world" },
-            if c.n_groups == 0 { 12 } else { c.n_groups },
+             \"peak_queue_depth\": {}, \"wall_secs\": {:.3}, \"sim_secs\": {:.3}, \
+             \"delta_entries\": {}, \"delta_dups\": {}, \"dup_ratio\": {:.4}, \
+             \"suppressed\": {}, \"adverts\": {}, \"completed\": {}}}{}",
+            c.kind,
+            c.n_groups,
             c.events,
             c.sent,
             c.events_per_sec,
@@ -176,11 +257,35 @@ fn write_json(cells: &[Cell], path: &str) {
             c.peak_queue_depth,
             c.wall_secs,
             c.sim_secs,
+            c.delta_entries,
+            c.delta_dups,
+            c.dup_ratio(),
+            c.suppressed,
+            c.adverts,
+            c.completed,
             if i + 1 == cells.len() { "" } else { "," }
         );
     }
     out.push_str("  ]\n}\n");
     std::fs::write(path, out).expect("write BENCH_events.json");
+}
+
+fn print_cell(c: &Cell) {
+    println!(
+        "  {:<12} n={:<4} events={:<9} eps={:>11.0} msgs/s={:>11.0} peakq={:<7} \
+         dup%={:>5.1} sup={:<8} adverts={:<7} txns={:<6} wall={:.3}s",
+        c.kind,
+        c.n_groups,
+        c.events,
+        c.events_per_sec,
+        c.msgs_per_sec,
+        c.peak_queue_depth,
+        100.0 * c.dup_ratio(),
+        c.suppressed,
+        c.adverts,
+        c.completed,
+        c.wall_secs
+    );
 }
 
 fn main() {
@@ -191,9 +296,15 @@ fn main() {
         .position(|a| a == "--min-eps")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--min-eps takes a number"));
+    let stride: u32 = args
+        .iter()
+        .position(|a| a == "--stride")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--stride takes a number"))
+        .unwrap_or(DEFAULT_STRIDE);
 
     println!(
-        "events sweep: full FlexCast world, {} mode",
+        "events sweep: full FlexCast world, {} mode, advert stride {stride}",
         if smoke { "smoke" } else { "full" }
     );
     let mut cells = Vec::new();
@@ -205,21 +316,36 @@ fn main() {
         .map(|_| run_queue_cell(smoke))
         .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
         .expect("at least one attempt");
-    println!(
-        "  queue12    events={:<10} eps={:>12.0} msgs/s={:>12.0} peakq={:<7} wall={:.3}s",
-        q.events, q.events_per_sec, q.msgs_per_sec, q.peak_queue_depth, q.wall_secs
-    );
+    print_cell(&q);
     cells.push(q);
     let sizes = [12usize, 32, 64, 128];
     for &n in &sizes {
-        let c = run_cell(n, smoke);
+        // Plain first, then suppressed, so the reduction prints with the
+        // suppressed cell while both are fresh.
+        let plain = run_cell(n, smoke, None);
+        print_cell(&plain);
+        let sup = run_cell(n, smoke, Some(stride));
+        print_cell(&sup);
+        let reduction = if plain.delta_dups == 0 {
+            0.0
+        } else {
+            1.0 - sup.delta_dups as f64 / plain.delta_dups as f64
+        };
         println!(
-            "  groups={:<4} events={:<10} eps={:>12.0} msgs/s={:>12.0} peakq={:<7} wall={:.3}s",
-            c.n_groups, c.events, c.events_per_sec, c.msgs_per_sec, c.peak_queue_depth, c.wall_secs
+            "  suppression  n={:<4} duplicate delta entries {} -> {} ({:+.1}% reduction), \
+             events/s {:.0} -> {:.0} ({:+.1}%)",
+            n,
+            plain.delta_dups,
+            sup.delta_dups,
+            100.0 * reduction,
+            plain.events_per_sec,
+            sup.events_per_sec,
+            100.0 * (sup.events_per_sec / plain.events_per_sec - 1.0),
         );
-        cells.push(c);
+        cells.push(plain);
+        cells.push(sup);
     }
-    write_json(&cells, "BENCH_events.json");
+    write_json(&cells, stride, "BENCH_events.json");
     println!("wrote BENCH_events.json");
 
     if let Some(floor) = min_eps {

@@ -53,6 +53,7 @@ fn main() {
             flush_period: Some(SimTime::from_ms(250.0)),
             server_service_ms: 0.05,
             server_processing_ms: 20.0,
+            advert_stride: None,
         };
         let result = run(&cfg);
         result.check.assert_ok();

@@ -48,6 +48,7 @@ fn main() {
                         flush_period: flush,
                         server_service_ms: 0.05,
                         server_processing_ms: 20.0,
+                        advert_stride: None,
                     };
                     let r = run(&cfg);
                     runs += 1;
@@ -83,6 +84,7 @@ fn main() {
                 flush_period: Some(SimTime::from_ms(250.0)),
                 server_service_ms: 0.05,
                 server_processing_ms: 20.0,
+                advert_stride: None,
             };
             let r = run(&cfg);
             runs += 1;

@@ -23,9 +23,9 @@
 //! acks carry the prompting notifier (`via`), and `can-deliver` requires
 //! one ack per pair rather than one per group.
 
-use crate::history::{History, HistoryDelta, MsgRef};
+use crate::history::{History, HistoryDelta, MergeStats, MsgRef};
 use crate::packet::{NotifPair, Packet};
-use flexcast_types::{DestSet, GroupId, Message, MsgId};
+use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId, Watermarks};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -37,15 +37,41 @@ pub const FLUSH_PAYLOAD: &[u8] = b"__flexcast_flush__";
 /// An action produced by the engine.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Output {
-    /// Send `pkt` to group `to` over the C-DAG edge (always a descendant).
+    /// Send `pkt` to group `to`. Protocol packets (msg/ack/notif) always
+    /// travel down the C-DAG to a descendant; watermark advertisements
+    /// ([`Packet::Advert`]) are the one kind that travels *up*, to an
+    /// ancestor this group receives from.
     Send {
-        /// Destination group (strictly higher rank than the sender).
+        /// Destination group.
         to: GroupId,
         /// The packet to transmit.
         pkt: Packet,
     },
     /// Deliver the message to the application (`deliver(m)`).
     Deliver(Message),
+}
+
+/// Counters for the protocol-level delta-suppression machinery: how many
+/// watermark advertisements this engine exchanged and how many history
+/// entries it withheld from outgoing deltas because the receiver had
+/// advertised them as already processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuppressionStats {
+    /// Advertisement packets emitted (to upstream neighbors).
+    pub adverts_sent: u64,
+    /// Advertisement packets received (from downstream neighbors).
+    pub adverts_received: u64,
+    /// Vertices omitted from outgoing deltas as receiver-covered.
+    pub suppressed_verts: u64,
+    /// Edges omitted from outgoing deltas as receiver-covered.
+    pub suppressed_edges: u64,
+}
+
+impl SuppressionStats {
+    /// Total entries suppressed from outgoing deltas.
+    pub fn suppressed_entries(&self) -> u64 {
+        self.suppressed_verts + self.suppressed_edges
+    }
 }
 
 /// Per-message bookkeeping while a message awaits delivery (Alg. 1 lines
@@ -109,6 +135,26 @@ pub struct FlexCastGroup {
     vert_cursor: Vec<usize>,
     edge_cursor: Vec<usize>,
     delivered_count: u64,
+
+    /// Advertise watermarks upstream after this many newly admitted
+    /// history entries; `0` disables advertisement entirely (and with no
+    /// group advertising, the engine behaves exactly as before the
+    /// delta-suppression protocol existed).
+    advert_stride: u32,
+    /// Per-ancestor `admitted_entries` value at the last advertisement
+    /// (the stride trigger), indexed by rank.
+    advert_mark: Vec<u64>,
+    /// Per-ancestor copy of the watermarks last advertised to it, so
+    /// advertisements ship only changed entries.
+    advert_sent_clients: Vec<BTreeMap<ClientId, u32>>,
+    advert_sent_edges: Vec<BTreeMap<GroupId, u32>>,
+    /// Per-descendant view of the watermarks it advertised to us
+    /// (max-merged — advertisements are monotone), indexed by rank.
+    /// `diff_hst` filters outgoing deltas against these.
+    advertised_clients: Vec<BTreeMap<ClientId, u32>>,
+    advertised_edges: Vec<BTreeMap<GroupId, u32>>,
+    /// Advertisement / suppression counters.
+    sup: SuppressionStats,
 }
 
 impl FlexCastGroup {
@@ -135,7 +181,41 @@ impl FlexCastGroup {
             vert_cursor: vec![0; n as usize],
             edge_cursor: vec![0; n as usize],
             delivered_count: 0,
+            advert_stride: 0,
+            advert_mark: vec![0; n as usize],
+            advert_sent_clients: vec![BTreeMap::new(); n as usize],
+            advert_sent_edges: vec![BTreeMap::new(); n as usize],
+            advertised_clients: vec![BTreeMap::new(); n as usize],
+            advertised_edges: vec![BTreeMap::new(); n as usize],
+            sup: SuppressionStats::default(),
         }
+    }
+
+    /// Enables protocol-level delta suppression: the engine piggybacks a
+    /// watermark advertisement ([`Packet::Advert`]) to every ancestor it
+    /// receives from whenever its history has grown by at least `stride`
+    /// entries since the last advertisement on that link, and filters
+    /// outgoing `diff-hst` deltas against the watermarks its descendants
+    /// advertise back. `0` (the default) disables advertising; received
+    /// advertisements are always honored.
+    pub fn set_advert_stride(&mut self, stride: u32) {
+        self.advert_stride = stride;
+    }
+
+    /// The configured advertisement stride (`0` = advertising disabled).
+    pub fn advert_stride(&self) -> u32 {
+        self.advert_stride
+    }
+
+    /// Advertisement/suppression counters for this engine.
+    pub fn suppression_stats(&self) -> SuppressionStats {
+        self.sup
+    }
+
+    /// Merge-path duplicate counters of the underlying history
+    /// (convenience passthrough of [`History::merge_stats`]).
+    pub fn merge_stats(&self) -> MergeStats {
+        self.hst.merge_stats()
     }
 
     /// This group's rank.
@@ -247,6 +327,7 @@ impl FlexCastGroup {
         );
         self.client_backlog.push_back(m);
         self.drain_client_backlog(out);
+        self.maybe_advertise(out);
     }
 
     /// Delivers deferred client messages while the group is current
@@ -260,8 +341,15 @@ impl FlexCastGroup {
         }
     }
 
-    /// Handles a packet from another group (Algorithm 2).
+    /// Handles a packet from another group (Algorithm 2, plus the
+    /// upstream advertisement flow of the delta-suppression protocol).
     pub fn on_packet(&mut self, from: GroupId, pkt: Packet, out: &mut Vec<Output>) {
+        // Advertisements are the one packet kind that flows against the
+        // C-DAG edges: a descendant telling this group what it has seen.
+        if let Packet::Advert { wm } = pkt {
+            self.on_advert(from, wm);
+            return;
+        }
         debug_assert!(from < self.g, "C-DAG edges point to higher ranks only");
         match pkt {
             Packet::Msg {
@@ -303,14 +391,95 @@ impl FlexCastGroup {
                     self.pend_notif.push((mref, from, self.open_deps.clone()));
                 }
             }
+            Packet::Advert { .. } => unreachable!("handled above"),
+        }
+        self.maybe_advertise(out);
+    }
+
+    /// Absorbs a descendant's watermark advertisement: max-merge into the
+    /// per-descendant advertised view (watermarks are monotone, so a
+    /// stale or reordered advertisement can only be a no-op, never a
+    /// regression).
+    fn on_advert(&mut self, from: GroupId, wm: Watermarks) {
+        debug_assert!(from > self.g, "adverts flow upstream from descendants");
+        self.sup.adverts_received += 1;
+        let di = from.index();
+        for (c, w) in wm.clients {
+            let e = self.advertised_clients[di].entry(c).or_insert(w);
+            if *e < w {
+                *e = w;
+            }
+        }
+        for (g, w) in wm.edges {
+            let e = self.advertised_edges[di].entry(g).or_insert(w);
+            if *e < w {
+                *e = w;
+            }
+        }
+    }
+
+    /// Emits watermark advertisements to every ancestor, once this
+    /// group's history has grown by at least `advert_stride` entries
+    /// since the last advertisement on that link. Every ancestor is a
+    /// potential sender in the complete C-DAG, and covering a link
+    /// *before* its first packet matters most — the first `diff-hst` on
+    /// a never-used link would otherwise ship the entire retained log.
+    /// Advertisements are incremental: only watermark entries that
+    /// changed since the previous advertisement to that neighbor are
+    /// shipped (the engine's channels are reliable FIFO, re-established
+    /// under faults by the replication layer, so increments compose
+    /// losslessly).
+    fn maybe_advertise(&mut self, out: &mut Vec<Output>) {
+        if self.advert_stride == 0 || self.g.rank() == 0 {
+            return;
+        }
+        let total = self.hst.admitted_entries();
+        for u in (0..self.g.rank()).map(GroupId) {
+            let ui = u.index();
+            if total < self.advert_mark[ui] + self.advert_stride as u64 {
+                continue;
+            }
+            self.advert_mark[ui] = total;
+            let mut wm = Watermarks::default();
+            for (&c, &w) in self.hst.client_watermarks() {
+                if self.advert_sent_clients[ui].get(&c) != Some(&w) {
+                    wm.clients.push((c, w));
+                }
+            }
+            for (g, w) in self.hst.edge_prefixes() {
+                // An ancestor's log only holds edges created by ranks at
+                // or below its own (packets flow strictly downward), so
+                // prefixes of higher-ranked creators could never match
+                // its diff filter — dead advert bytes; skip them.
+                if g > u {
+                    continue;
+                }
+                if self.advert_sent_edges[ui].get(&g) != Some(&w) {
+                    wm.edges.push((g, w));
+                }
+            }
+            if wm.is_empty() {
+                continue;
+            }
+            for &(c, w) in &wm.clients {
+                self.advert_sent_clients[ui].insert(c, w);
+            }
+            for &(g, w) in &wm.edges {
+                self.advert_sent_edges[ui].insert(g, w);
+            }
+            self.sup.adverts_sent += 1;
+            out.push(Output::Send {
+                to: u,
+                pkt: Packet::Advert { wm },
+            });
         }
     }
 
     /// `update-hst` (Alg. 3 line 1).
     ///
     /// Garbage-collection safety is the history's own job now: its seen
-    /// watermark never re-admits a pruned vertex, and edges with pruned
-    /// endpoints are dropped by `insert_edge` — so no per-delta prefilter
+    /// watermark never re-admits a pruned vertex, and the merge path
+    /// drops edges with pruned endpoints — so no per-delta prefilter
     /// runs here. Post-merge maintenance (open dependencies, clean-set
     /// invalidation) runs over the history's append-only insertion logs —
     /// the entries the merge *actually inserted* — instead of the full
@@ -336,9 +505,9 @@ impl FlexCastGroup {
         // Clean-set invalidation: a new edge whose source is neither clean
         // nor delivered may put an open dependency above its target.
         let mut purge: Vec<MsgId> = Vec::new();
-        for &(a, b) in self.hst.edges_since(pre_edges) {
-            if !self.clean.contains(&a) && !self.delivered.contains(&a) {
-                purge.push(b);
+        for e in self.hst.edges_since(pre_edges) {
+            if !self.clean.contains(&e.before) && !self.delivered.contains(&e.before) {
+                purge.push(e.after);
             }
         }
         for b in purge {
@@ -419,7 +588,7 @@ impl FlexCastGroup {
     fn a_deliver(&mut self, m: Message, out: &mut Vec<Output>) {
         debug_assert!(!self.delivered.contains(&m.id), "integrity: deliver once");
         let mref = MsgRef::of(&m);
-        self.hst.record_delivery(mref);
+        self.hst.record_delivery(mref, self.g);
         self.delivered.insert(m.id);
         self.open_deps.remove(&m.id);
         self.blocked_by.remove(&m.id);
@@ -536,13 +705,58 @@ impl FlexCastGroup {
     /// `diff-hst(h)` (Alg. 3 line 11): the history not yet sent to `d` —
     /// the log suffix past the descendant's cursor — advancing the cursor
     /// as a side effect. O(new entries), per §4.3's diff optimization.
+    ///
+    /// With the delta-suppression protocol, the suffix is additionally
+    /// filtered against the watermarks `d` has advertised: a vertex whose
+    /// `(client, seq)` is covered, or an edge whose `(creator, idx)` is
+    /// covered, was already processed at `d` — re-merging it there is a
+    /// guaranteed no-op (the seen watermark and edge-stream dedup reject
+    /// it without touching any other state), so omitting it changes
+    /// nothing about `d`'s behavior while saving the encode, clone, and
+    /// probe per duplicate. The cursor advances past suppressed entries
+    /// permanently; watermarks are monotone, so they stay covered.
     fn diff_hst(&mut self, d: GroupId) -> HistoryDelta {
-        let delta = HistoryDelta {
-            verts: self.hst.verts_since(self.vert_cursor[d.index()]).to_vec(),
-            edges: self.hst.edges_since(self.edge_cursor[d.index()]).to_vec(),
+        let di = d.index();
+        let verts = self.hst.verts_since(self.vert_cursor[di]);
+        let edges = self.hst.edges_since(self.edge_cursor[di]);
+        let cwm = &self.advertised_clients[di];
+        let ewm = &self.advertised_edges[di];
+        let (delta, sup_v, sup_e) = if cwm.is_empty() && ewm.is_empty() {
+            (
+                HistoryDelta {
+                    verts: verts.to_vec(),
+                    edges: edges.to_vec(),
+                },
+                0,
+                0,
+            )
+        } else {
+            let mut kept = HistoryDelta {
+                verts: Vec::with_capacity(verts.len()),
+                edges: Vec::with_capacity(edges.len()),
+            };
+            let mut sup_v = 0u64;
+            let mut sup_e = 0u64;
+            for v in verts {
+                if cwm.get(&v.id.sender).is_some_and(|&w| v.id.seq <= w) {
+                    sup_v += 1;
+                } else {
+                    kept.verts.push(*v);
+                }
+            }
+            for e in edges {
+                if ewm.get(&e.creator).is_some_and(|&w| e.idx <= w) {
+                    sup_e += 1;
+                } else {
+                    kept.edges.push(*e);
+                }
+            }
+            (kept, sup_v, sup_e)
         };
-        self.vert_cursor[d.index()] = self.hst.vert_log_len();
-        self.edge_cursor[d.index()] = self.hst.edge_log_len();
+        self.sup.suppressed_verts += sup_v;
+        self.sup.suppressed_edges += sup_e;
+        self.vert_cursor[di] = self.hst.vert_log_len();
+        self.edge_cursor[di] = self.hst.edge_log_len();
         delta
     }
 
@@ -1376,14 +1590,143 @@ mod tests {
         a.on_client(m1.clone(), &mut out1);
         let mut out2 = Vec::new();
         a.on_client(m2.clone(), &mut out2);
-        let h1 = sends(&out1)[0].1.hist().clone();
-        let h2 = sends(&out2)[0].1.hist().clone();
+        let h1 = sends(&out1)[0].1.hist().unwrap().clone();
+        let h2 = sends(&out2)[0].1.hist().unwrap().clone();
         assert!(h1.verts.iter().any(|v| v.id == m1.id));
         assert!(
             !h2.verts.iter().any(|v| v.id == m1.id),
             "m1's vertex already sent to B, diff must exclude it"
         );
         assert!(h2.verts.iter().any(|v| v.id == m2.id));
-        assert!(h2.edges.contains(&(m1.id, m2.id)), "new edge still sent");
+        assert!(
+            h2.edges
+                .iter()
+                .any(|e| (e.before, e.after) == (m1.id, m2.id)),
+            "new edge still sent"
+        );
+        // The edge carries its provenance: created by A, its first edge.
+        let e = &h2.edges[0];
+        assert_eq!((e.creator, e.idx), (A, 0));
+    }
+
+    /// The delta-suppression worked example (DESIGN.md §8): three groups,
+    /// stride-1 advertisement, and the third message's ack crossing the
+    /// B → C link with an *empty* history delta because C advertised
+    /// everything B would have re-sent.
+    #[test]
+    fn advertised_watermarks_suppress_cross_link_duplicates() {
+        let mut a = FlexCastGroup::new(A, 3);
+        let mut b = FlexCastGroup::new(B, 3);
+        let mut c = FlexCastGroup::new(C, 3);
+        for e in [&mut a, &mut b, &mut c] {
+            e.set_advert_stride(1);
+        }
+        let m0 = msg(0, &[0, 1, 2]);
+        let m1 = msg(1, &[0, 1, 2]);
+
+        // A (the lca) delivers m0 and forwards it to B and C.
+        let mut out_a = Vec::new();
+        a.on_client(m0.clone(), &mut out_a);
+        let s = sends(&out_a);
+        let m0_to_b = s.iter().find(|(t, _)| *t == B).unwrap().1.clone();
+        let m0_to_c = s.iter().find(|(t, _)| *t == C).unwrap().1.clone();
+
+        // C receives the msg (can't deliver yet — B has not acked) and
+        // advertises its freshly admitted history to both ancestors —
+        // every ancestor is a potential sender, and covering a link
+        // before its first packet is what de-fangs cold full-log sends.
+        let mut out_c = Vec::new();
+        c.on_packet(A, m0_to_c, &mut out_c);
+        assert!(deliveries(&out_c).is_empty());
+        let s = sends(&out_c);
+        let advert_c_to_a = s
+            .iter()
+            .find(|(t, p)| *t == A && matches!(p, Packet::Advert { .. }))
+            .expect("C advertises to A")
+            .1
+            .clone();
+        let advert_c_to_b = s
+            .iter()
+            .find(|(t, p)| *t == B && matches!(p, Packet::Advert { .. }))
+            .expect("C advertises to B unprompted")
+            .1
+            .clone();
+        let mut out = Vec::new();
+        a.on_packet(C, advert_c_to_a, &mut out);
+        assert!(out.is_empty(), "adverts produce no engine output");
+
+        // B delivers m0 and acks to C; its delta still carries m0's
+        // vertex (C's advertisement has not reached B yet — the fresh
+        // same-wave duplicate no advertisement can beat).
+        let mut out_b = Vec::new();
+        b.on_packet(A, m0_to_b, &mut out_b);
+        let ack_b_to_c = sends(&out_b)
+            .into_iter()
+            .find(|(t, p)| *t == C && matches!(p, Packet::Ack { .. }))
+            .unwrap()
+            .1;
+        assert_eq!(ack_b_to_c.hist().unwrap().len(), 1, "vertex re-sent");
+
+        // C delivers m0.
+        let mut out_c = Vec::new();
+        c.on_packet(B, ack_b_to_c, &mut out_c);
+        assert_eq!(deliveries(&out_c), vec![m0.id]);
+
+        // Round 2: A delivers m1; its delta to B and C carries the new
+        // vertex plus A's chain edge m0 → m1.
+        let mut out_a = Vec::new();
+        a.on_client(m1.clone(), &mut out_a);
+        let s = sends(&out_a);
+        let m1_to_b = s.iter().find(|(t, _)| *t == B).unwrap().1.clone();
+        let m1_to_c = s.iter().find(|(t, _)| *t == C).unwrap().1.clone();
+        assert_eq!(m1_to_b.hist().unwrap().len(), 2);
+
+        // C merges A's copy first and advertises the growth to both
+        // upstream neighbors.
+        let mut out_c = Vec::new();
+        c.on_packet(A, m1_to_c, &mut out_c);
+        let advert2_c_to_b = sends(&out_c)
+            .into_iter()
+            .find(|(t, p)| *t == B && matches!(p, Packet::Advert { .. }))
+            .expect("C advertises the m1 entries")
+            .1;
+        b.on_packet(C, advert_c_to_b, &mut Vec::new());
+        b.on_packet(C, advert2_c_to_b, &mut Vec::new());
+
+        // The advertised view is replicated engine state: a restored
+        // snapshot of B suppresses exactly where the original would —
+        // what a failed-over leader inherits.
+        let mut b2 = FlexCastGroup::restore(&b.snapshot().expect("snapshot encodes"))
+            .expect("snapshot decodes");
+
+        // B delivers m1 and acks to C — and now the whole history suffix
+        // (m1's vertex and A's chain edge) is suppressed: C advertised
+        // both, so the ack crosses the link with an empty delta where an
+        // unsuppressed engine would have re-sent 2 entries.
+        let mut out_b = Vec::new();
+        b.on_packet(A, m1_to_b.clone(), &mut out_b);
+        let mut out_b2 = Vec::new();
+        b2.on_packet(A, m1_to_b, &mut out_b2);
+        assert_eq!(out_b, out_b2, "restored engine emits identical outputs");
+        assert_eq!(b2.suppression_stats(), b.suppression_stats());
+        let ack2_b_to_c = sends(&out_b)
+            .into_iter()
+            .find(|(t, p)| *t == C && matches!(p, Packet::Ack { .. }))
+            .unwrap()
+            .1;
+        assert!(
+            ack2_b_to_c.hist().unwrap().is_empty(),
+            "delta fully suppressed: C advertised every entry"
+        );
+        let st = b.suppression_stats();
+        assert_eq!(st.suppressed_verts, 1);
+        assert_eq!(st.suppressed_edges, 1);
+
+        // Suppression is a receiver no-op: C still delivers m1 exactly as
+        // an unsuppressed run would.
+        let mut out_c = Vec::new();
+        c.on_packet(B, ack2_b_to_c, &mut out_c);
+        assert_eq!(deliveries(&out_c), vec![m1.id]);
+        assert!(c.suppression_stats().adverts_sent >= 3);
     }
 }

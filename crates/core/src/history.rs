@@ -39,6 +39,28 @@ impl MsgRef {
     }
 }
 
+/// A history order edge with its provenance: which group created it and
+/// at which position in that group's creation sequence.
+///
+/// Every edge in the system originates at exactly one group — the group
+/// that delivered `after` immediately after `before` chains the pair in
+/// [`History::record_delivery`]. Tagging edges with the `(creator, idx)`
+/// of that event gives each one a dense, per-creator stream position, so
+/// "which edges has this group processed?" compresses to one watermark
+/// per creator (the same closed-prefix trick the vertex tombstones use)
+/// — the representation behind protocol-level delta suppression.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TaggedEdge {
+    /// The group whose delivery created this edge.
+    pub creator: GroupId,
+    /// Position in the creator's edge-creation sequence (dense from 0).
+    pub idx: u32,
+    /// The earlier message (`before → after` is a delivery-order edge).
+    pub before: MsgId,
+    /// The later message.
+    pub after: MsgId,
+}
+
 /// The portion of a history shipped inside one packet (`diff-hst`, Alg. 3
 /// line 11): only the vertices and edges the receiver has not seen from
 /// this sender yet.
@@ -46,8 +68,8 @@ impl MsgRef {
 pub struct HistoryDelta {
     /// New vertices.
     pub verts: Vec<MsgRef>,
-    /// New order edges `(before, after)`.
-    pub edges: Vec<(MsgId, MsgId)>,
+    /// New order edges, each carrying its creation provenance.
+    pub edges: Vec<TaggedEdge>,
 }
 
 impl HistoryDelta {
@@ -59,6 +81,49 @@ impl HistoryDelta {
     /// True if the delta carries nothing.
     pub fn is_empty(&self) -> bool {
         self.verts.is_empty() && self.edges.is_empty()
+    }
+
+    /// Total number of entries (vertices plus edges) in the delta.
+    pub fn len(&self) -> usize {
+        self.verts.len() + self.edges.len()
+    }
+}
+
+/// Counters over [`History::merge`]: how many delta entries arrived and
+/// how many of them were duplicates the history had already processed.
+/// At large group counts a receiver hears the same entry from up to
+/// `n − 1` ancestors, so the duplicate share is the direct measure of
+/// what protocol-level delta suppression can save.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct MergeStats {
+    /// Delta vertices received by `merge`.
+    pub verts_in: u64,
+    /// Delta vertices rejected as already seen (or tombstoned).
+    pub verts_dup: u64,
+    /// Delta edges received by `merge`.
+    pub edges_in: u64,
+    /// Delta edges rejected as already processed.
+    pub edges_dup: u64,
+}
+
+impl MergeStats {
+    /// Total entries received.
+    pub fn entries_in(&self) -> u64 {
+        self.verts_in + self.edges_in
+    }
+
+    /// Total duplicate entries among them.
+    pub fn entries_dup(&self) -> u64 {
+        self.verts_dup + self.edges_dup
+    }
+
+    /// Duplicate share in `[0, 1]` (0 when nothing was received).
+    pub fn dup_ratio(&self) -> f64 {
+        if self.entries_in() == 0 {
+            0.0
+        } else {
+            self.entries_dup() as f64 / self.entries_in() as f64
+        }
     }
 }
 
@@ -81,7 +146,7 @@ pub struct History {
     /// each descendant"), making diffs O(new entries) instead of
     /// O(full history).
     vert_log: Vec<MsgRef>,
-    edge_log: Vec<(MsgId, MsgId)>,
+    edge_log: Vec<TaggedEdge>,
     /// Number of retained vertices addressed to each group, for O(log n)
     /// `contains_msg_to` (evaluated on every forward by `send-notifs`).
     addressed: BTreeMap<GroupId, u32>,
@@ -98,6 +163,27 @@ pub struct History {
     /// for out-of-prefix stragglers.
     seen_watermark: BTreeMap<flexcast_types::ClientId, u32>,
     seen_residual: BTreeSet<MsgId>,
+    /// Per-creator record of the chain-edge indices this history has
+    /// *processed* — inserted, rejected as a content duplicate, or
+    /// dropped for a pruned endpoint — as sorted, disjoint, inclusive
+    /// `(start, end)` ranges. The edge analogue of `seen_watermark`:
+    /// since each group emits its chain edges in index order and relays
+    /// preserve that order, the processed set per creator is usually one
+    /// range `[0, k]`. Ranges (rather than a watermark plus a residual
+    /// set) keep memory bounded by the number of *holes*: an upstream
+    /// prune can drop a stream element some receiver never got, and a
+    /// residual set would then grow by one entry per subsequent edge of
+    /// that creator, forever.
+    edge_seen: BTreeMap<GroupId, Vec<(u32, u32)>>,
+    /// Next chain index for edges created locally (`create_edge`); counts
+    /// only edges actually logged, so the local creator stream is dense.
+    next_edge_idx: u32,
+    /// Monotone count of log admissions (vertices + edges) — unlike the
+    /// log lengths it never shrinks under GC compaction, so it can drive
+    /// "history grew by N entries" triggers.
+    admitted: u64,
+    /// Merge-path duplicate accounting.
+    merge_stats: MergeStats,
 }
 
 impl History {
@@ -194,6 +280,45 @@ impl History {
         }
     }
 
+    /// True if the chain-edge stream element `(creator, idx)` has been
+    /// processed by this history — inserted, rejected as a duplicate, or
+    /// dropped for a pruned endpoint. One map probe plus a binary search
+    /// over that creator's (almost always single-element) range list.
+    #[inline]
+    pub fn edge_processed(&self, creator: GroupId, idx: u32) -> bool {
+        self.edge_seen.get(&creator).is_some_and(|ranges| {
+            match ranges.binary_search_by(|&(s, _)| s.cmp(&idx)) {
+                Ok(_) => true,
+                Err(0) => false,
+                Err(i) => ranges[i - 1].1 >= idx,
+            }
+        })
+    }
+
+    /// Records `(creator, idx)` as processed, merging into the creator's
+    /// range list (extending or joining neighbors where contiguous).
+    fn note_edge(&mut self, creator: GroupId, idx: u32) {
+        let ranges = self.edge_seen.entry(creator).or_default();
+        let i = match ranges.binary_search_by(|&(s, _)| s.cmp(&idx)) {
+            Ok(_) => return, // a range starts exactly here: covered
+            Err(i) => i,
+        };
+        if i > 0 && ranges[i - 1].1 >= idx {
+            return; // inside the previous range
+        }
+        let extends_prev = i > 0 && ranges[i - 1].1.checked_add(1) == Some(idx);
+        let extends_next = i < ranges.len() && idx.checked_add(1) == Some(ranges[i].0);
+        match (extends_prev, extends_next) {
+            (true, true) => {
+                ranges[i - 1].1 = ranges[i].1;
+                ranges.remove(i);
+            }
+            (true, false) => ranges[i - 1].1 = idx,
+            (false, true) => ranges[i].0 = idx,
+            (false, false) => ranges.insert(i, (idx, idx)),
+        }
+    }
+
     /// Inserts a vertex if absent. Returns true when it was new; a vertex
     /// the history has ever seen — including one pruned by garbage
     /// collection — is never re-admitted.
@@ -204,22 +329,32 @@ impl History {
         self.note_seen(v.id);
         self.verts.insert(v.id, v.dst);
         self.vert_log.push(v);
+        self.admitted += 1;
         for g in v.dst.iter() {
             *self.addressed.entry(g).or_insert(0) += 1;
         }
         true
     }
 
-    /// Inserts an order edge `before → after`. Both endpoints must already
-    /// be vertices; unknown endpoints are ignored (a delta always ships its
-    /// vertices with its edges, so this only drops edges about vertices
-    /// pruned by garbage collection).
-    pub fn insert_edge(&mut self, before: MsgId, after: MsgId) {
+    /// Links `before → after` in the DAG. Caller has already checked the
+    /// duplicate and endpoint-presence conditions.
+    fn link(&mut self, e: TaggedEdge) {
+        self.preds.entry(e.after).or_default().insert(e.before);
+        self.succs.entry(e.before).or_default().insert(e.after);
+        self.edge_log.push(e);
+        self.admitted += 1;
+    }
+
+    /// Creates a *new* order edge `before → after` on behalf of `creator`
+    /// (the group whose delivery chained the pair), assigning it the next
+    /// index in this history's creation sequence. Both endpoints must
+    /// already be vertices and the content must be new; otherwise no edge
+    /// (and no index) is produced, so the local creator stream stays
+    /// dense.
+    pub fn create_edge(&mut self, creator: GroupId, before: MsgId, after: MsgId) {
         if before == after {
             return;
         }
-        // Duplicate fast path: ancestor deltas replay mostly-known edges,
-        // so check for the edge itself before validating endpoints.
         if self
             .preds
             .get(&after)
@@ -230,9 +365,48 @@ impl History {
         if !self.verts.contains_key(&before) || !self.verts.contains_key(&after) {
             return;
         }
-        self.preds.entry(after).or_default().insert(before);
-        self.succs.entry(before).or_default().insert(after);
-        self.edge_log.push((before, after));
+        let e = TaggedEdge {
+            creator,
+            idx: self.next_edge_idx,
+            before,
+            after,
+        };
+        self.next_edge_idx += 1;
+        self.note_edge(e.creator, e.idx);
+        self.link(e);
+    }
+
+    /// Applies a *received* tagged edge (the merge path). Returns true
+    /// when the edge was genuinely new. Rejections — already-processed
+    /// stream element, content duplicate from another creator, or a
+    /// pruned endpoint — all mark the stream element processed, because
+    /// re-processing it later would be a no-op either way: that is the
+    /// invariant that makes watermark-based suppression upstream safe.
+    fn apply_edge(&mut self, e: TaggedEdge) -> bool {
+        if self.edge_processed(e.creator, e.idx) {
+            return false;
+        }
+        self.note_edge(e.creator, e.idx);
+        if e.before == e.after {
+            return false;
+        }
+        // Content duplicate: two groups can create the same `before →
+        // after` pair independently; only the first is linked and logged.
+        if self
+            .preds
+            .get(&e.after)
+            .is_some_and(|ps| ps.contains(&e.before))
+        {
+            return false;
+        }
+        // A delta always ships its vertices with (or before) its edges,
+        // so a missing endpoint means the vertex was pruned here — and
+        // tombstones make that permanent, so dropping is final.
+        if !self.verts.contains_key(&e.before) || !self.verts.contains_key(&e.after) {
+            return false;
+        }
+        self.link(e);
+        true
     }
 
     /// Length of the vertex insertion log (a `diff-hst` cursor bound).
@@ -251,16 +425,64 @@ impl History {
     }
 
     /// Edges inserted at or after log position `from`.
-    pub fn edges_since(&self, from: usize) -> &[(MsgId, MsgId)] {
+    pub fn edges_since(&self, from: usize) -> &[TaggedEdge] {
         &self.edge_log[from.min(self.edge_log.len())..]
     }
 
+    /// Monotone count of entries (vertices + edges) ever admitted into
+    /// the insertion logs. Unlike the log lengths this never decreases
+    /// under GC compaction, so it can drive growth-triggered actions like
+    /// watermark advertisement.
+    pub fn admitted_entries(&self) -> u64 {
+        self.admitted
+    }
+
+    /// The per-client vertex watermark (contiguous seen prefix per
+    /// client) — the vertex half of a [`flexcast_types::Watermarks`]
+    /// advertisement.
+    pub fn client_watermarks(&self) -> &BTreeMap<flexcast_types::ClientId, u32> {
+        &self.seen_watermark
+    }
+
+    /// The per-creator chain-edge watermark: for each creator whose
+    /// processed set includes index 0, the end of that contiguous prefix
+    /// — the edge half of a [`flexcast_types::Watermarks`]
+    /// advertisement. Ranges beyond the first hole are deliberately not
+    /// advertised (conservative; they stay until the hole fills or
+    /// forever, bounded in memory either way).
+    pub fn edge_prefixes(&self) -> impl Iterator<Item = (GroupId, u32)> + '_ {
+        self.edge_seen
+            .iter()
+            .filter_map(|(&g, ranges)| match ranges.first() {
+                Some(&(0, end)) => Some((g, end)),
+                _ => None,
+            })
+    }
+
+    /// The contiguous processed prefix for one creator (tests and
+    /// diagnostics): `Some(end)` if indices `0..=end` are processed.
+    pub fn edge_prefix(&self, creator: GroupId) -> Option<u32> {
+        self.edge_seen
+            .get(&creator)
+            .and_then(|ranges| match ranges.first() {
+                Some(&(0, end)) => Some(end),
+                _ => None,
+            })
+    }
+
+    /// Merge-path duplicate counters.
+    pub fn merge_stats(&self) -> MergeStats {
+        self.merge_stats
+    }
+
     /// Records a local delivery (`hst-add`, Alg. 3 line 4): inserts the
-    /// vertex and chains it after the previous local delivery.
-    pub fn record_delivery(&mut self, v: MsgRef) {
+    /// vertex and chains it after the previous local delivery. `creator`
+    /// is the delivering group — it stamps the provenance of the chain
+    /// edge this delivery creates.
+    pub fn record_delivery(&mut self, v: MsgRef, creator: GroupId) {
         self.insert_vert(v);
         if let Some(last) = self.last_delivered {
-            self.insert_edge(last, v.id);
+            self.create_edge(creator, last, v.id);
         }
         self.last_delivered = Some(v.id);
     }
@@ -268,13 +490,20 @@ impl History {
     /// Merges a received delta (`update-hst`, Alg. 3 line 1). Vertices
     /// this history has garbage-collected cannot re-enter through a slow
     /// ancestor: the seen watermark rejects them in `insert_vert`, and
-    /// `insert_edge` drops edges whose endpoints are missing.
+    /// `apply_edge` drops edges whose endpoints are missing. Duplicate
+    /// counts accumulate in [`History::merge_stats`].
     pub fn merge(&mut self, delta: &HistoryDelta) {
         for v in &delta.verts {
-            self.insert_vert(*v);
+            self.merge_stats.verts_in += 1;
+            if !self.insert_vert(*v) {
+                self.merge_stats.verts_dup += 1;
+            }
         }
-        for &(b, a) in &delta.edges {
-            self.insert_edge(b, a);
+        for &e in &delta.edges {
+            self.merge_stats.edges_in += 1;
+            if !self.apply_edge(e) {
+                self.merge_stats.edges_dup += 1;
+            }
         }
     }
 
@@ -423,7 +652,7 @@ impl History {
         let edge_retained: Vec<bool> = self
             .edge_log
             .iter()
-            .map(|(a, b)| !doomed.contains(a) && !doomed.contains(b))
+            .map(|e| !doomed.contains(&e.before) && !doomed.contains(&e.after))
             .collect();
         let mut edge_prefix = vec![0usize; edge_retained.len() + 1];
         for (i, &keep) in edge_retained.iter().enumerate() {
@@ -475,6 +704,9 @@ mod tests {
     use super::*;
     use flexcast_types::ClientId;
 
+    /// Creator used by tests for locally created edges.
+    const OWNER: GroupId = GroupId(9);
+
     fn id(seq: u32) -> MsgId {
         MsgId::new(ClientId(0), seq)
     }
@@ -486,17 +718,33 @@ mod tests {
         }
     }
 
+    fn te(creator: u16, idx: u32, before: MsgId, after: MsgId) -> TaggedEdge {
+        TaggedEdge {
+            creator: GroupId(creator),
+            idx,
+            before,
+            after,
+        }
+    }
+
     #[test]
     fn record_delivery_builds_a_chain() {
         let mut h = History::new();
-        h.record_delivery(vref(1, &[0]));
-        h.record_delivery(vref(2, &[0, 1]));
-        h.record_delivery(vref(3, &[0]));
+        h.record_delivery(vref(1, &[0]), OWNER);
+        h.record_delivery(vref(2, &[0, 1]), OWNER);
+        h.record_delivery(vref(3, &[0]), OWNER);
         assert_eq!(h.last_delivered(), Some(id(3)));
         assert_eq!(h.len(), 3);
         assert_eq!(h.edge_count(), 2);
         assert!(h.reaches(id(1), id(3)));
         assert!(!h.reaches(id(3), id(1)));
+        // Chain edges carry dense creator provenance.
+        let tags: Vec<(GroupId, u32)> = h
+            .edges_since(0)
+            .iter()
+            .map(|e| (e.creator, e.idx))
+            .collect();
+        assert_eq!(tags, vec![(OWNER, 0), (OWNER, 1)]);
     }
 
     #[test]
@@ -505,21 +753,26 @@ mod tests {
         for s in 1..=4 {
             h.insert_vert(vref(s, &[0]));
         }
-        h.insert_edge(id(1), id(2));
-        h.insert_edge(id(2), id(3));
+        h.create_edge(OWNER, id(1), id(2));
+        h.create_edge(OWNER, id(2), id(3));
         assert!(h.reaches(id(1), id(1)));
         assert!(h.reaches(id(1), id(3)));
         assert!(!h.reaches(id(1), id(4)));
     }
 
     #[test]
-    fn insert_edge_requires_vertices() {
+    fn create_edge_requires_vertices() {
         let mut h = History::new();
         h.insert_vert(vref(1, &[0]));
-        h.insert_edge(id(1), id(2)); // 2 unknown → dropped
+        h.create_edge(OWNER, id(1), id(2)); // 2 unknown → dropped
         assert_eq!(h.edge_count(), 0);
-        h.insert_edge(id(1), id(1)); // self loop → dropped
+        h.create_edge(OWNER, id(1), id(1)); // self loop → dropped
         assert_eq!(h.edge_count(), 0);
+        // Rejected edges consume no creator index: the next real edge
+        // still gets index 0.
+        h.insert_vert(vref(2, &[0]));
+        h.create_edge(OWNER, id(1), id(2));
+        assert_eq!(h.edges_since(0)[0].idx, 0);
     }
 
     #[test]
@@ -527,7 +780,11 @@ mod tests {
         let mut h = History::new();
         let delta = HistoryDelta {
             verts: vec![vref(1, &[0]), vref(3, &[0, 1])],
-            edges: vec![(id(1), id(2)), (id(2), id(3)), (id(1), id(3))],
+            edges: vec![
+                te(3, 0, id(1), id(2)),
+                te(3, 1, id(2), id(3)),
+                te(3, 2, id(1), id(3)),
+            ],
         };
         h.merge(&delta);
         assert!(h.contains(id(1)));
@@ -535,6 +792,11 @@ mod tests {
         assert!(h.contains(id(3)));
         assert_eq!(h.edge_count(), 1, "edges touching missing vertices dropped");
         assert!(h.reaches(id(1), id(3)));
+        // Dropped edges still count as processed stream elements.
+        assert!(h.edge_processed(GroupId(3), 0));
+        assert!(h.edge_processed(GroupId(3), 1));
+        assert!(h.edge_processed(GroupId(3), 2));
+        assert_eq!(h.edge_prefix(GroupId(3)), Some(2));
     }
 
     #[test]
@@ -544,8 +806,8 @@ mod tests {
         h.insert_vert(vref(1, &[5]));
         h.insert_vert(vref(2, &[1]));
         h.insert_vert(vref(3, &[5]));
-        h.insert_edge(id(1), id(2));
-        h.insert_edge(id(2), id(3));
+        h.create_edge(OWNER, id(1), id(2));
+        h.create_edge(OWNER, id(2), id(3));
         let delivered = BTreeSet::new();
         assert_eq!(
             h.blocking_predecessor(id(3), GroupId(5), &delivered),
@@ -592,10 +854,10 @@ mod tests {
             h.insert_vert(vref(s, &[0]));
         }
         // 1 → 2 → 4(fence), 3 → 4, 4 → 5.
-        h.insert_edge(id(1), id(2));
-        h.insert_edge(id(2), id(4));
-        h.insert_edge(id(3), id(4));
-        h.insert_edge(id(4), id(5));
+        h.create_edge(OWNER, id(1), id(2));
+        h.create_edge(OWNER, id(2), id(4));
+        h.create_edge(OWNER, id(3), id(4));
+        h.create_edge(OWNER, id(4), id(5));
         let mut vc = [5usize];
         let mut ec = [4usize];
         let pruned = h.prune_before(id(4), &mut vc, &mut ec);
@@ -616,18 +878,20 @@ mod tests {
     #[test]
     fn diff_logs_track_insertion_order() {
         let mut h = History::new();
-        h.record_delivery(vref(1, &[0]));
-        h.record_delivery(vref(2, &[0]));
+        h.record_delivery(vref(1, &[0]), OWNER);
+        h.record_delivery(vref(2, &[0]), OWNER);
         assert_eq!(h.vert_log_len(), 2);
         assert_eq!(h.edge_log_len(), 1);
+        assert_eq!(h.admitted_entries(), 3);
         let suffix = h.verts_since(1);
         assert_eq!(suffix.len(), 1);
         assert_eq!(suffix[0].id, id(2));
         // Duplicate inserts do not grow the logs.
         h.insert_vert(vref(1, &[0]));
-        h.insert_edge(id(1), id(2));
+        h.create_edge(OWNER, id(1), id(2));
         assert_eq!(h.vert_log_len(), 2);
         assert_eq!(h.edge_log_len(), 1);
+        assert_eq!(h.admitted_entries(), 3);
     }
 
     #[test]
@@ -635,7 +899,7 @@ mod tests {
         let mut h = History::new();
         h.insert_vert(vref(1, &[3]));
         h.insert_vert(vref(2, &[0]));
-        h.insert_edge(id(1), id(2));
+        h.create_edge(OWNER, id(1), id(2));
         assert!(h.contains_msg_to(GroupId(3)));
         let _ = h.prune_before(id(2), &mut [], &mut []);
         assert!(!h.contains_msg_to(GroupId(3)), "pruned vertex uncounted");
@@ -657,14 +921,14 @@ mod tests {
         assert!(!h.insert_vert(vref(2, &[0])), "still seen after promotion");
 
         // Pruned vertices stay seen: a stale delta cannot resurrect them.
-        h.insert_edge(id(0), id(2));
+        h.create_edge(OWNER, id(0), id(2));
         let _ = h.prune_before(id(2), &mut [], &mut []);
         assert!(!h.contains(id(0)), "0 pruned");
         assert!(h.has_seen(id(0)), "tombstone survives the prune");
         assert!(!h.insert_vert(vref(0, &[0])), "no resurrection");
         let delta = HistoryDelta {
             verts: vec![vref(0, &[0])],
-            edges: vec![(id(0), id(2))],
+            edges: vec![te(4, 0, id(0), id(2))],
         };
         h.merge(&delta);
         assert!(!h.contains(id(0)), "merge respects the tombstone");
@@ -684,14 +948,95 @@ mod tests {
         let mut h = History::new();
         h.insert_vert(vref(1, &[0]));
         h.insert_vert(vref(2, &[0]));
-        h.insert_edge(id(1), id(2));
+        h.create_edge(OWNER, id(1), id(2));
         assert!(h.is_acyclic());
-        h.insert_edge(id(2), id(1));
+        h.create_edge(OWNER, id(2), id(1));
         assert!(!h.is_acyclic());
     }
 
     #[test]
     fn msgref_lca() {
         assert_eq!(vref(1, &[3, 7]).lca(), GroupId(3));
+    }
+
+    #[test]
+    fn edge_stream_elements_are_processed_once() {
+        let mut h = History::new();
+        h.insert_vert(vref(1, &[0]));
+        h.insert_vert(vref(2, &[0]));
+        let e = te(3, 0, id(1), id(2));
+        h.merge(&HistoryDelta {
+            verts: vec![],
+            edges: vec![e],
+        });
+        assert_eq!(h.edge_count(), 1);
+        assert_eq!(h.merge_stats().edges_dup, 0);
+        // The same stream element from another ancestor is a duplicate.
+        h.merge(&HistoryDelta {
+            verts: vec![],
+            edges: vec![e],
+        });
+        assert_eq!(h.edge_count(), 1);
+        assert_eq!(h.edge_log_len(), 1);
+        let st = h.merge_stats();
+        assert_eq!((st.edges_in, st.edges_dup), (2, 1));
+    }
+
+    #[test]
+    fn cross_creator_content_duplicate_is_processed_but_not_linked() {
+        // Two groups independently created the same `1 → 2` pair; the
+        // second stream element is absorbed (processed, not logged) so
+        // the DAG holds one edge.
+        let mut h = History::new();
+        h.insert_vert(vref(1, &[0]));
+        h.insert_vert(vref(2, &[0]));
+        h.merge(&HistoryDelta {
+            verts: vec![],
+            edges: vec![te(3, 0, id(1), id(2)), te(5, 0, id(1), id(2))],
+        });
+        assert_eq!(h.edge_count(), 1);
+        assert_eq!(h.edge_log_len(), 1);
+        assert!(h.edge_processed(GroupId(3), 0));
+        assert!(h.edge_processed(GroupId(5), 0), "absorbed but processed");
+        assert_eq!(h.merge_stats().edges_dup, 1);
+    }
+
+    #[test]
+    fn edge_watermark_promotes_out_of_order_stream_elements() {
+        let mut h = History::new();
+        for s in 1..=4 {
+            h.insert_vert(vref(s, &[0]));
+        }
+        // Index 1 arrives before index 0 (e.g. a pruning hole upstream).
+        h.merge(&HistoryDelta {
+            verts: vec![],
+            edges: vec![te(3, 1, id(2), id(3))],
+        });
+        assert!(h.edge_processed(GroupId(3), 1));
+        assert!(!h.edge_processed(GroupId(3), 0));
+        assert!(h.edge_prefix(GroupId(3)).is_none());
+        // The gap fills: both promote into the watermark.
+        h.merge(&HistoryDelta {
+            verts: vec![],
+            edges: vec![te(3, 0, id(1), id(2))],
+        });
+        assert_eq!(h.edge_prefix(GroupId(3)), Some(1));
+        assert!(h.edge_processed(GroupId(3), 0));
+    }
+
+    #[test]
+    fn merge_stats_count_vertex_duplicates() {
+        let mut h = History::new();
+        let d = HistoryDelta {
+            verts: vec![vref(0, &[0]), vref(1, &[0])],
+            edges: vec![],
+        };
+        h.merge(&d);
+        h.merge(&d);
+        let st = h.merge_stats();
+        assert_eq!((st.verts_in, st.verts_dup), (4, 2));
+        assert_eq!(st.entries_in(), 4);
+        assert_eq!(st.entries_dup(), 2);
+        assert!((st.dup_ratio() - 0.5).abs() < 1e-12);
     }
 }

@@ -31,6 +31,17 @@
 //! Garbage collection (§4.3) is flush-based: delivering a flush message
 //! that is addressed to every group prunes all history that precedes it.
 //!
+//! On top of the paper's protocol, the engine implements *delta
+//! suppression* (opt-in via [`FlexCastGroup::set_advert_stride`]): a
+//! group receives the same history entry from up to `n − 1` ancestors,
+//! so each group advertises compact watermarks of what it has already
+//! processed *upstream* ([`Packet::Advert`] — the only flow against the
+//! C-DAG edge direction), and senders filter their `diff-hst` deltas
+//! against the advertised view. Suppressed entries are exactly those the
+//! receiver's merge would reject as duplicates, so delivered traces are
+//! unchanged — only the duplicate encode/clone/probe work disappears.
+//! `DESIGN.md` §8 specifies the protocol, including failover semantics.
+//!
 //! # Example
 //!
 //! ```
@@ -59,6 +70,6 @@ pub mod engine;
 pub mod history;
 pub mod packet;
 
-pub use engine::{FlexCastGroup, Output, FLUSH_PAYLOAD};
-pub use history::{History, HistoryDelta, MsgRef};
+pub use engine::{FlexCastGroup, Output, SuppressionStats, FLUSH_PAYLOAD};
+pub use history::{History, HistoryDelta, MergeStats, MsgRef, TaggedEdge};
 pub use packet::Packet;

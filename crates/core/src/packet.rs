@@ -1,7 +1,7 @@
 //! Inter-group packets (the three message kinds of Algorithm 2).
 
 use crate::history::{HistoryDelta, MsgRef};
-use flexcast_types::{GroupId, Message};
+use flexcast_types::{GroupId, Message, Watermarks};
 use serde::{Deserialize, Serialize};
 
 /// A `(notifier, notified)` pair: `notifier` sent a notif about a message
@@ -57,15 +57,30 @@ pub enum Packet {
         /// The sender's history diff.
         hist: HistoryDelta,
     },
+    /// A watermark advertisement — the only packet that travels *against*
+    /// the C-DAG edges, from a group to an ancestor it receives from. It
+    /// summarizes which history entries the sender has already processed
+    /// ([`Watermarks`]), so the ancestor can suppress them from future
+    /// `diff-hst` deltas on that link. Advertisements carry no history
+    /// and affect no ordering decision; losing or reordering them only
+    /// costs suppression coverage, never correctness.
+    Advert {
+        /// The advertised per-client vertex and per-creator edge
+        /// watermarks (incremental: only entries that changed since the
+        /// sender's previous advertisement on this link).
+        wm: Watermarks,
+    },
 }
 
 impl Packet {
-    /// The history delta carried by this packet.
-    pub fn hist(&self) -> &HistoryDelta {
+    /// The history delta carried by this packet, if any (advertisements
+    /// carry none).
+    pub fn hist(&self) -> Option<&HistoryDelta> {
         match self {
             Packet::Msg { hist, .. } | Packet::Ack { hist, .. } | Packet::Notif { hist, .. } => {
-                hist
+                Some(hist)
             }
+            Packet::Advert { .. } => None,
         }
     }
 
@@ -75,6 +90,7 @@ impl Packet {
             Packet::Msg { .. } => "msg",
             Packet::Ack { .. } => "ack",
             Packet::Notif { .. } => "notif",
+            Packet::Advert { .. } => "advert",
         }
     }
 
@@ -114,13 +130,19 @@ mod tests {
             mref: mref(),
             hist: HistoryDelta::empty(),
         };
+        let advert = Packet::Advert {
+            wm: Watermarks::default(),
+        };
         assert_eq!(msg.kind(), "msg");
         assert_eq!(ack.kind(), "ack");
         assert_eq!(notif.kind(), "notif");
+        assert_eq!(advert.kind(), "advert");
         assert!(msg.is_payload());
         assert!(!ack.is_payload());
         assert!(!notif.is_payload());
-        assert!(msg.hist().is_empty());
+        assert!(!advert.is_payload());
+        assert!(msg.hist().expect("msg carries a delta").is_empty());
+        assert!(advert.hist().is_none(), "adverts carry no history");
     }
 
     #[test]
@@ -134,5 +156,24 @@ mod tests {
         let bytes = flexcast_wire::to_bytes(&ack).unwrap();
         let back: Packet = flexcast_wire::from_bytes(&bytes).unwrap();
         assert_eq!(back, ack);
+    }
+
+    #[test]
+    fn adverts_roundtrip_on_the_wire() {
+        use flexcast_types::ClientId;
+        let advert = Packet::Advert {
+            wm: Watermarks {
+                clients: vec![(ClientId(3), 17), (ClientId(9), 0)],
+                edges: vec![(GroupId(0), 4), (GroupId(7), 123_456)],
+            },
+        };
+        let bytes = flexcast_wire::to_bytes(&advert).unwrap();
+        let back: Packet = flexcast_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, advert);
+        assert_eq!(
+            flexcast_wire::encoded_len(&advert).unwrap(),
+            bytes.len(),
+            "encoded_len matches the real encoding for adverts"
+        );
     }
 }

@@ -74,16 +74,24 @@ pub struct ServerActor {
 
 impl ServerActor {
     /// Creates a FlexCast server for `node`; the engine runs in rank space
-    /// as defined by `order`.
-    pub fn flexcast(node: GroupId, n_servers: usize, order: CDagOrder) -> Self {
+    /// as defined by `order`. `advert_stride` enables protocol-level
+    /// delta suppression (watermark advertisements upstream every so many
+    /// admitted history entries); `None` runs the plain protocol.
+    pub fn flexcast(
+        node: GroupId,
+        n_servers: usize,
+        order: CDagOrder,
+        advert_stride: Option<u32>,
+    ) -> Self {
         let rank = order.rank_of(node);
+        let mut engine = FlexCastGroup::new(rank, n_servers as u16);
+        if let Some(stride) = advert_stride {
+            engine.set_advert_stride(stride);
+        }
         ServerActor {
             node,
             n_servers,
-            engine: EngineKind::Flex {
-                engine: FlexCastGroup::new(rank, n_servers as u16),
-                order,
-            },
+            engine: EngineKind::Flex { engine, order },
             stats: ServerStats::default(),
             deliveries: Vec::new(),
             flex_outs: Vec::new(),
@@ -144,6 +152,15 @@ impl ServerActor {
         ctx.send(to, msg);
     }
 
+    /// Like [`ServerActor::send_counted`] but routed as control-plane
+    /// traffic ([`Ctx::send_control`]): counted in the traffic stats, but
+    /// not occupying the receiver's serial service slot.
+    fn send_control_counted(&mut self, to: usize, msg: NetMsg, ctx: &mut Ctx<'_, NetMsg>) {
+        self.stats.sent_msgs += 1;
+        self.stats.sent_bytes += msg.wire_size() as u64;
+        ctx.send_control(to, msg);
+    }
+
     fn handle_flex_outputs(&mut self, outs: &mut Vec<FlexOutput>, ctx: &mut Ctx<'_, NetMsg>) {
         let now = ctx.now();
         // Split borrow: read the order before looping to map ranks.
@@ -155,7 +172,16 @@ impl ServerActor {
                         EngineKind::Flex { order, .. } => order.node_at(to),
                         _ => unreachable!("flex outputs come from flex engines"),
                     };
-                    self.send_counted(node.index(), NetMsg::Flex(pkt), ctx);
+                    // Watermark advertisements are tiny background
+                    // messages a real deployment would piggyback on its
+                    // upstream traffic (client replies, transport acks);
+                    // modeling them as serial-service work would let one
+                    // in-flight WAN advert head-of-line block a server.
+                    if matches!(pkt, flexcast_core::Packet::Advert { .. }) {
+                        self.send_control_counted(node.index(), NetMsg::Flex(pkt), ctx);
+                    } else {
+                        self.send_counted(node.index(), NetMsg::Flex(pkt), ctx);
+                    }
                 }
             }
         }

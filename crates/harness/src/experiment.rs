@@ -61,6 +61,12 @@ pub struct ExperimentConfig {
     /// paper's prototype, whose reported latencies sit far above the raw
     /// RTTs (Table 2: 229 ms first-destination p90 over ~12 ms links).
     pub server_processing_ms: f64,
+    /// FlexCast delta suppression: groups advertise their history
+    /// watermarks upstream after this many newly admitted entries, and
+    /// senders filter `diff-hst` deltas against the advertised view.
+    /// `None` disables the advertisement flow entirely (the plain
+    /// protocol — what the golden traces pin). Ignored by the baselines.
+    pub advert_stride: Option<u32>,
 }
 
 impl ExperimentConfig {
@@ -78,6 +84,9 @@ impl ExperimentConfig {
             flush_period: Some(SimTime::from_ms(250.0)),
             server_service_ms: 0.05,
             server_processing_ms: 20.0,
+            // Paper-fidelity configurations run the plain protocol; scale
+            // benches and correctness tests opt into delta suppression.
+            advert_stride: None,
         }
     }
 
@@ -97,6 +106,7 @@ impl ExperimentConfig {
             flush_period: Some(SimTime::from_ms(250.0)),
             server_service_ms: 0.3,
             server_processing_ms: 20.0,
+            advert_stride: None,
         }
     }
 }
@@ -196,7 +206,9 @@ pub fn run_world_on(cfg: &ExperimentConfig, matrix: &LatencyMatrix) -> World<Net
     for node in 0..n_servers as u16 {
         let node = GroupId(node);
         let server = match &cfg.protocol {
-            ProtocolKind::FlexCast(order) => ServerActor::flexcast(node, n_servers, order.clone()),
+            ProtocolKind::FlexCast(order) => {
+                ServerActor::flexcast(node, n_servers, order.clone(), cfg.advert_stride)
+            }
             ProtocolKind::Hierarchical(tree) => ServerActor::hier(node, n_servers, tree.clone()),
             ProtocolKind::Distributed => ServerActor::skeen(node, n_servers),
         };
@@ -337,6 +349,7 @@ mod tests {
             flush_period: Some(SimTime::from_ms(400.0)),
             server_service_ms: 0.05,
             server_processing_ms: 20.0,
+            advert_stride: Some(16),
         }
     }
 

@@ -36,6 +36,14 @@
 //! layer above. Replica delivery logs are replicated state, so any
 //! survivor can serve the group's delivery order and the checker can
 //! assert the replicas never diverged (lockstep).
+//!
+//! Delta-suppression advertisements (`Packet::Advert`, DESIGN.md §8) need
+//! no extra machinery here: they are ordinary inter-group packets, so they
+//! ride the same sequence-numbered links, are committed through Paxos like
+//! every input, and the advertised-watermark view they build lives inside
+//! the replicated engine state — a leader elected after a failover
+//! inherits it and keeps suppressing exactly where its predecessor
+//! stopped, instead of conservatively re-sending full deltas.
 
 use crate::checker::{self, CheckReport, DeliveryEvent};
 use crate::netmsg::NetMsg;
@@ -99,12 +107,20 @@ pub struct ReplEngine {
 }
 
 impl ReplEngine {
-    /// Creates the state machine for the group at `node`.
-    pub fn new(node: GroupId, order: CDagOrder) -> Self {
+    /// Creates the state machine for the group at `node`. `advert_stride`
+    /// enables protocol-level delta suppression; the advertised view is
+    /// part of the replicated engine state (advertisements arrive as
+    /// committed `Peer` commands), so a new leader after failover
+    /// inherits it rather than resetting suppression coverage.
+    pub fn new(node: GroupId, order: CDagOrder, advert_stride: Option<u32>) -> Self {
         let rank = order.rank_of(node);
         let n = order.len() as u16;
+        let mut engine = FlexCastGroup::new(rank, n);
+        if let Some(stride) = advert_stride {
+            engine.set_advert_stride(stride);
+        }
         ReplEngine {
-            engine: FlexCastGroup::new(rank, n),
+            engine,
             order,
             applied_clients: BTreeSet::new(),
             next_in: BTreeMap::new(),
@@ -271,6 +287,7 @@ pub struct ReplicatedActor {
 
 impl ReplicatedActor {
     /// Creates replica `replica` of the group at `node`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         node: GroupId,
         replica: u32,
@@ -279,6 +296,7 @@ impl ReplicatedActor {
         tick: SimTime,
         stop_at: SimTime,
         retransmit_every: u64,
+        advert_stride: Option<u32>,
     ) -> Self {
         let n_groups = order.len();
         ReplicatedActor {
@@ -286,7 +304,12 @@ impl ReplicatedActor {
             replica,
             rf,
             n_groups,
-            rg: ReplicatedGroup::new(replica, rf, ReplEngine::new(node, order), apply_cmd),
+            rg: ReplicatedGroup::new(
+                replica,
+                rf,
+                ReplEngine::new(node, order, advert_stride),
+                apply_cmd,
+            ),
             inbox: Vec::new(),
             was_leader: false,
             tick,
@@ -760,6 +783,11 @@ pub struct ReplicatedConfig {
     /// All timers stop at this simulated time; choose it past the fault
     /// schedule's horizon with room for recovery, or the run cannot heal.
     pub stop_at: SimTime,
+    /// FlexCast delta suppression (watermark advertisements upstream)
+    /// for the replicated engines; `None` runs the plain protocol. The
+    /// advertised view lives inside the replicated state machine, so it
+    /// survives leader failover.
+    pub advert_stride: Option<u32>,
 }
 
 impl ReplicatedConfig {
@@ -780,6 +808,7 @@ impl ReplicatedConfig {
             retry: SimTime::from_ms(400.0),
             retransmit_every: 8,
             stop_at: SimTime::from_secs(30),
+            advert_stride: None,
         }
     }
 }
@@ -842,6 +871,7 @@ pub fn build_world(cfg: &ReplicatedConfig, matrix: &LatencyMatrix) -> World<NetM
                 cfg.tick,
                 cfg.stop_at,
                 cfg.retransmit_every,
+                cfg.advert_stride,
             )));
             sites.push(GroupId(g));
         }
@@ -1005,6 +1035,38 @@ mod tests {
             .map(|t| t.iter().map(|e| e.id).collect())
             .collect();
         assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn suppressed_replicated_run_is_clean_and_suppresses() {
+        // Suppression needs rank depth to win the advertisement race: an
+        // entry reaches a far group via slow multi-hop relays while the
+        // receiver's advert races straight back, so a 3-group triangle
+        // (every path one hop) suppresses nothing — 8 groups do.
+        let mut cfg = ReplicatedConfig {
+            advert_stride: Some(2),
+            ..ReplicatedConfig::small(8, 2, 7)
+        };
+        cfg.msgs_per_client = 24;
+        cfg.max_dst = 4;
+        cfg.stop_at = SimTime::from_secs(120);
+        let m = matrix(8);
+        let mut world = build_world(&cfg, &m);
+        world.run_to_quiescence(80_000_000);
+        let r = collect(&cfg, &world);
+        r.check.assert_ok();
+        assert_eq!(r.availability, 1.0);
+        let mut suppressed = 0u64;
+        let mut adverts = 0u64;
+        for pid in 0..world.len() {
+            if let ReplNode::Replica(rep) = world.actor(pid) {
+                let st = rep.state().engine().suppression_stats();
+                suppressed += st.suppressed_entries();
+                adverts += st.adverts_sent;
+            }
+        }
+        assert!(adverts > 0, "advertisement flow engaged under replication");
+        assert!(suppressed > 0, "cross-link duplicates were suppressed");
     }
 
     #[test]

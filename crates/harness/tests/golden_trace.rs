@@ -66,6 +66,8 @@ fn golden_trace_fault_free() {
         flush_period: Some(SimTime::from_ms(400.0)),
         server_service_ms: 0.05,
         server_processing_ms: 20.0,
+        // The goldens pin the pre-suppression protocol: no advert flow.
+        advert_stride: None,
     };
     let r = run(&cfg);
     r.check.assert_ok();

@@ -28,10 +28,12 @@ pub trait Actor<M> {
     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_, M>) {}
 }
 
-/// One buffered side effect: a point-to-point send or a fan-out.
+/// One buffered side effect: a point-to-point send, a fan-out, or a
+/// control-plane send (no service occupancy).
 enum SendOp<M> {
     One(ProcessId, M),
     Many(Vec<ProcessId>, M),
+    Control(ProcessId, M),
 }
 
 /// Side-effect collector passed to actor callbacks.
@@ -70,6 +72,17 @@ impl<M> Ctx<'_, M> {
     /// the original without any clone at all.
     pub fn send_many(&mut self, targets: Vec<ProcessId>, msg: M) {
         self.sends.push(SendOp::Many(targets, msg));
+    }
+
+    /// Sends `msg` to `to` as *control-plane* traffic: it experiences the
+    /// link delay, jitter, FIFO clamping, partitions, and faults like any
+    /// other message, but does not occupy the receiver's serial service
+    /// time. Use for small background/piggyback messages (e.g. FlexCast
+    /// watermark advertisements) that a real deployment would process off
+    /// the request path — charging them a full service slot would let one
+    /// in-flight WAN control message head-of-line block the receiver.
+    pub fn send_control(&mut self, to: ProcessId, msg: M) {
+        self.sends.push(SendOp::Control(to, msg));
     }
 
     /// Schedules [`Actor::on_timer`] with `token` after `delay`.
@@ -370,7 +383,7 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
     /// *before* the caller-visible payload handling, so dropped messages
     /// are never cloned — and returns the scheduled arrival time(s).
     #[inline]
-    fn plan_send(&mut self, from: ProcessId, to: ProcessId) -> SendFate {
+    fn plan_send(&mut self, from: ProcessId, to: ProcessId, control: bool) -> SendFate {
         self.sent_messages += 1;
         if self.links.is_blocked(from, to) {
             self.dropped_messages += 1;
@@ -384,11 +397,11 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
                 return SendFate::Dropped;
             }
             if fault.dup > 0.0 && self.rng.random::<f64>() < fault.dup {
-                dup_at = Some(self.arrival_time(from, to, fault));
+                dup_at = Some(self.arrival_time(from, to, fault, control));
                 self.sent_messages += 1;
             }
         }
-        let at = self.arrival_time(from, to, fault);
+        let at = self.arrival_time(from, to, fault, control);
         match dup_at {
             Some(dup_at) => SendFate::DeliverDup { dup_at, at },
             None => SendFate::Deliver { at },
@@ -397,7 +410,11 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
 
     /// Routes one owned send, scheduling zero, one, or two delivery events.
     fn route_send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
-        match self.plan_send(from, to) {
+        self.route_send_inner(from, to, msg, false)
+    }
+
+    fn route_send_inner(&mut self, from: ProcessId, to: ProcessId, msg: M, control: bool) {
+        match self.plan_send(from, to, control) {
             SendFate::Dropped => {}
             SendFate::Deliver { at } => self.push(at, Event::Deliver { from, to, msg }),
             SendFate::DeliverDup { dup_at, at } => {
@@ -424,7 +441,7 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
         debug_assert!(fates.is_empty());
         let mut last_delivering = None;
         for (i, &to) in targets.iter().enumerate() {
-            let fate = self.plan_send(from, to);
+            let fate = self.plan_send(from, to, false);
             if !matches!(fate, SendFate::Dropped) {
                 last_delivering = Some(i);
             }
@@ -467,7 +484,13 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
         self.scratch_fates = fates;
     }
 
-    fn arrival_time(&mut self, from: ProcessId, to: ProcessId, fault: LinkFault) -> SimTime {
+    fn arrival_time(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        fault: LinkFault,
+        control: bool,
+    ) -> SimTime {
         let mut delay = self.link.sample_delay(from, to, &mut self.rng);
         delay += fault.extra_delay;
         let reordered = fault.reorder > 0.0 && self.rng.random::<f64>() < fault.reorder;
@@ -482,9 +505,10 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
             }
         }
         // Serial service: the receiver handles one message at a time, each
-        // occupying it for its configured service time.
+        // occupying it for its configured service time. Control-plane
+        // sends skip this ([`Ctx::send_control`]).
         let svc = self.link.service(to);
-        if svc > SimTime::ZERO {
+        if !control && svc > SimTime::ZERO {
             at = at.max(self.links.busy_until(to)) + svc;
             self.links.set_busy_until(to, at);
         }
@@ -543,6 +567,7 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
             match op {
                 SendOp::One(to, msg) => self.route_send(pid, to, msg),
                 SendOp::Many(targets, msg) => self.route_fanout(pid, &targets, msg),
+                SendOp::Control(to, msg) => self.route_send_inner(pid, to, msg, true),
             }
         }
         for (at, token) in timers.drain(..) {

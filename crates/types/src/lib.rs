@@ -8,7 +8,9 @@
 //! * [`GroupId`] — a dense numeric group identifier (the paper's rank space),
 //! * [`DestSet`] — the destination set `m.dst`, a compact bitset over groups,
 //! * [`MsgId`] / [`Message`] — a multicast message with a globally unique id,
-//! * [`ClientId`] — identifier of a message sender.
+//! * [`ClientId`] — identifier of a message sender,
+//! * [`Watermarks`] — the per-client / per-creator watermark advertisement
+//!   groups send upstream for protocol-level history-delta suppression.
 //!
 //! All types are plain data: they serialize with `serde` (the wire format
 //! lives in `flexcast-wire`) and carry no interior mutability, so protocol
@@ -24,7 +26,7 @@ pub mod message;
 pub use bytes::Bytes;
 pub use dest::{DestSet, MAX_GROUPS};
 pub use error::{Error, Result};
-pub use message::{ClientId, Message, MsgId, Payload};
+pub use message::{ClientId, Message, MsgId, Payload, Watermarks};
 
 use serde::{Deserialize, Serialize};
 

@@ -142,6 +142,50 @@ impl std::fmt::Debug for Payload {
     }
 }
 
+/// A watermark advertisement: the compact summary of history knowledge a
+/// group sends *upstream* (against the C-DAG edge direction) so ancestors
+/// can suppress history entries the group provably already processed.
+///
+/// Two vectors, both meaning "everything up to and including this
+/// sequence number, per key":
+///
+/// * `clients` — per [`ClientId`], the contiguous prefix of message
+///   sequence numbers whose history *vertices* this group has admitted
+///   (or tombstoned after garbage collection). Matches
+///   `History::client_watermarks` in `flexcast-core`.
+/// * `edges` — per creator [`GroupId`], the contiguous prefix of that
+///   group's chain-edge indices this group has processed. Every history
+///   edge is created by exactly one group (the group that delivered the
+///   edge's target right after its source) and carries that creator's
+///   index, so edge knowledge compresses the same way vertex knowledge
+///   does.
+///
+/// Advertisements are *monotone* and *conservative*: watermarks only
+/// ever advance, receivers merge them by taking the per-key maximum, and
+/// a lost or stale advertisement merely makes upstream suppression less
+/// effective — never incorrect. Entries are `(key, watermark)` pairs
+/// rather than a map so incremental advertisements (only the keys that
+/// changed since the last one) stay cheap on the wire.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Watermarks {
+    /// Per-client vertex watermark: all seqs `<= wm` have been admitted.
+    pub clients: Vec<(ClientId, u32)>,
+    /// Per-creator chain-edge watermark: all indices `<= wm` processed.
+    pub edges: Vec<(GroupId, u32)>,
+}
+
+impl Watermarks {
+    /// True if the advertisement carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty() && self.edges.is_empty()
+    }
+
+    /// Number of `(key, watermark)` entries carried.
+    pub fn len(&self) -> usize {
+        self.clients.len() + self.edges.len()
+    }
+}
+
 /// An application multicast message (paper Algorithm 1, lines 1–7).
 ///
 /// A message knows its unique [`MsgId`], its destination groups `dst`, and
@@ -255,5 +299,17 @@ mod tests {
     fn display_formats() {
         assert_eq!(MsgId::new(ClientId(3), 9).to_string(), "m3.9");
         assert_eq!(ClientId(3).to_string(), "c3");
+    }
+
+    #[test]
+    fn watermarks_empty_and_len() {
+        let mut w = Watermarks::default();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        w.clients.push((ClientId(1), 7));
+        w.edges.push((GroupId(0), 3));
+        w.edges.push((GroupId(2), 0));
+        assert!(!w.is_empty());
+        assert_eq!(w.len(), 3);
     }
 }

@@ -28,6 +28,7 @@ fn main() {
         flush_period: Some(SimTime::from_ms(250.0)),
         server_service_ms: 0.05,
         server_processing_ms: 20.0,
+        advert_stride: None,
     };
     println!("running gTPC-C (95% locality) over FlexCast O1 on 12 AWS regions…\n");
     let mut result = run(&cfg);

@@ -25,6 +25,7 @@ fn latency_cfg(protocol: ProtocolKind, locality: f64) -> ExperimentConfig {
         flush_period: Some(SimTime::from_ms(250.0)),
         server_service_ms: 0.05,
         server_processing_ms: 20.0,
+        advert_stride: None,
     }
 }
 
@@ -234,6 +235,7 @@ fn flexcast_histories_cost_bytes() {
             flush_period: Some(SimTime::from_ms(250.0)),
             server_service_ms: 0.05,
             server_processing_ms: 20.0,
+            advert_stride: None,
         };
         let r = run(&cfg);
         r.check.assert_ok();

@@ -24,6 +24,7 @@ fn base_config(protocol: ProtocolKind, seed: u64, locality: f64, jitter: f64) ->
         flush_period: Some(SimTime::from_ms(400.0)),
         server_service_ms: 0.05,
         server_processing_ms: 10.0,
+        advert_stride: Some(16),
     }
 }
 

@@ -1,9 +1,12 @@
 //! Property tests for the SMR substrate (paper §4.4): Paxos safety under
-//! arbitrary message loss, duplication, and reordering, and replica
-//! lockstep for `ReplicatedGroup<FlexCastGroup>` across seeded
-//! crash/recover schedules.
+//! arbitrary message loss, duplication, and reordering, replica lockstep
+//! for `ReplicatedGroup<FlexCastGroup>` across seeded crash/recover
+//! schedules, and trace equivalence of delta-suppressed vs. plain engine
+//! networks under the same chaotic delivery schedule.
 
 use flexcast_core::{FlexCastGroup, Output, Packet};
+use flexcast_harness::replicated::{apply_cmd, ReplCmd, ReplEngine};
+use flexcast_overlay::CDagOrder;
 use flexcast_smr::{GroupEffect, PaxosMsg, Replica, ReplicatedGroup, SmrOutput};
 use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId, Payload};
 use proptest::prelude::*;
@@ -324,5 +327,157 @@ proptest! {
             prop_assert_eq!(uniq.len(), log.len(), "double delivery at replica {}", r);
         }
         prop_assert_eq!(longest.len() as u32, seq, "no committed multicast lost");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: delta suppression (DESIGN.md §8) — a suppressed engine network
+// and an unsuppressed one, driven through the SAME chaotic delivery
+// schedule (random reordering, duplicated packets, client retries), must
+// deliver identical sequences at every group.
+//
+// The networks stay in lockstep because suppression only removes delta
+// entries the receiver provably already processed, and advertisements
+// ride links of their own (descendant → ancestor) — so the per-link
+// protocol packet streams of the two networks pair up one-to-one, and
+// each paired apply must produce the same deliveries.
+// ---------------------------------------------------------------------------
+
+/// Splits apply effects into delivered ids and emitted inter-group sends.
+fn split_fx(fx: Vec<GroupEffect<ReplCmd>>) -> (Vec<MsgId>, Vec<(GroupId, u64, Packet)>) {
+    let mut dels = Vec::new();
+    let mut sends = Vec::new();
+    for e in fx {
+        if let GroupEffect::Engine(cmd) = e {
+            match cmd {
+                ReplCmd::Client(m) => dels.push(m.id),
+                ReplCmd::Peer { peer, seq, pkt } => sends.push((peer, seq, pkt)),
+                ReplCmd::Noop { .. } => {}
+            }
+        }
+    }
+    (dels, sends)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Drive both networks to quiescence through one seeded schedule and
+    /// assert per-apply and end-to-end delivery equality.
+    #[test]
+    fn suppressed_and_plain_networks_deliver_identical_sequences(
+        seed in 0u64..10_000,
+        n_msgs in 4u32..16,
+        dup in 0.0f64..0.3,
+    ) {
+        const N: u16 = 5;
+        let order = CDagOrder::identity(N as usize);
+        // Network A: plain protocol. Network B: aggressive advertisement.
+        let mut net_a: Vec<ReplEngine> = (0..N)
+            .map(|g| ReplEngine::new(GroupId(g), order.clone(), None))
+            .collect();
+        let mut net_b: Vec<ReplEngine> = (0..N)
+            .map(|g| ReplEngine::new(GroupId(g), order.clone(), Some(1)))
+            .collect();
+
+        // Pending deliveries: `(destination group, A command, B command)`.
+        // Advertisements exist only in network B (`cmd_a` is `None`).
+        let mut pending: Vec<(usize, Option<ReplCmd>, ReplCmd)> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+
+        for s in 0..n_msgs {
+            let client = ClientId(s % 2);
+            let k = rng.random_range(2..=3usize);
+            let mut dst = DestSet::new();
+            while dst.len() < k {
+                dst.insert(GroupId(rng.random_range(0..N)));
+            }
+            let m = Message::new(MsgId::new(client, s / 2), dst, Payload::empty()).unwrap();
+            let entry = net_a[0].entry_node(dst).index();
+            pending.push((entry, Some(ReplCmd::Client(m.clone())), ReplCmd::Client(m)));
+        }
+
+        let mut steps = 0u32;
+        while !pending.is_empty() {
+            steps += 1;
+            prop_assert!(steps < 200_000, "no quiescence");
+            let i = rng.random_range(0..pending.len());
+            let (dst, cmd_a, cmd_b) = pending.swap_remove(i);
+            // Duplicate the packet with probability `dup`: the per-link
+            // sequence dedup (and client-id dedup) must absorb it. This
+            // also models loss-then-retransmission.
+            if rng.random::<f64>() < dup {
+                pending.push((dst, cmd_a.clone(), cmd_b.clone()));
+            }
+
+            let mut fx_b = Vec::new();
+            apply_cmd(&mut net_b[dst], cmd_b, &mut fx_b);
+            let (dels_b, sends_b) = split_fx(fx_b);
+
+            // An emitted effect names its *destination*; as the input the
+            // destination consumes, `peer` is the *sender* (this group).
+            let sender = GroupId(dst as u16);
+
+            let Some(cmd_a) = cmd_a else {
+                // A B-only advertisement: absorbing it must not deliver
+                // or send anything.
+                prop_assert!(dels_b.is_empty(), "advert caused a delivery");
+                for (peer, seq, pkt) in sends_b {
+                    prop_assert!(matches!(pkt, Packet::Advert { .. }));
+                    pending.push((
+                        peer.index(),
+                        None,
+                        ReplCmd::Peer { peer: sender, seq, pkt },
+                    ));
+                }
+                continue;
+            };
+
+            let mut fx_a = Vec::new();
+            apply_cmd(&mut net_a[dst], cmd_a, &mut fx_a);
+            let (dels_a, sends_a) = split_fx(fx_a);
+
+            // Per-apply delivery equality: suppression is invisible to
+            // the delivery sequence.
+            prop_assert_eq!(&dels_a, &dels_b, "deliveries diverged at group {}", dst);
+
+            // B's sends = A's sends (same links, same seqs, same message
+            // identities; only the history deltas inside may differ) plus
+            // B-only advertisements on upstream links.
+            let mut protocol_b = Vec::new();
+            for (peer, seq, pkt) in sends_b {
+                if matches!(pkt, Packet::Advert { .. }) {
+                    pending.push((
+                        peer.index(),
+                        None,
+                        ReplCmd::Peer { peer: sender, seq, pkt },
+                    ));
+                } else {
+                    protocol_b.push((peer, seq, pkt));
+                }
+            }
+            prop_assert_eq!(sends_a.len(), protocol_b.len(), "send streams diverged");
+            for ((pa, sa, pkt_a), (pb, sb, pkt_b)) in sends_a.into_iter().zip(protocol_b) {
+                prop_assert_eq!(pa, pb);
+                prop_assert_eq!(sa, sb);
+                prop_assert_eq!(pkt_a.kind(), pkt_b.kind());
+                pending.push((
+                    pa.index(),
+                    Some(ReplCmd::Peer { peer: sender, seq: sa, pkt: pkt_a }),
+                    ReplCmd::Peer { peer: sender, seq: sb, pkt: pkt_b },
+                ));
+            }
+        }
+
+        // End-to-end: identical per-group delivery logs, and every group
+        // delivered everything addressed to it.
+        for g in 0..N as usize {
+            prop_assert_eq!(
+                net_a[g].delivery_log(),
+                net_b[g].delivery_log(),
+                "group {} delivery order diverged",
+                g
+            );
+        }
     }
 }
