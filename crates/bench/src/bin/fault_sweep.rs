@@ -1,25 +1,34 @@
 //! Fault sweep: delivery latency and availability of *replicated*
 //! FlexCast groups under scripted failures, sweeping crash timing ×
-//! partition duration × replication factor.
+//! partition duration × replication factor — plus a reactive-adversary
+//! axis sweeping the leader hunter's kill delay.
 //!
-//! Every cell runs the same closed-loop multicast workload on the
-//! deterministic simulator while a `flexcast-chaos` schedule crashes the
-//! rank-0 group's initial Paxos leader and (optionally) partitions group 1
-//! from group 2. Reported per cell: availability (completed ⁄ issued by
-//! the end of the run), completion-latency percentiles, and the drop
-//! count. Safety — integrity, prefix/acyclic order, replica lockstep — is
-//! *asserted*, not reported: any violation aborts the sweep.
+//! Every scripted cell runs the same closed-loop multicast workload on
+//! the deterministic simulator while a `flexcast-chaos` schedule crashes
+//! the rank-0 group's initial Paxos leader and (optionally) partitions
+//! group 1 from group 2. With `--adversary leader-hunter`, additional
+//! cells drive `scenarios::leader_hunter` through `run_adversary`: the
+//! adversary crashes whichever replica *currently* leads group 0 a fixed
+//! delay after each failover — a state-triggered scenario no schedule can
+//! script — and each cell prints the fired-action trace, which replays
+//! the run as a plain schedule. Reported per cell: availability
+//! (completed ⁄ issued by the end of the run), completion-latency
+//! percentiles, and the drop count. Safety — integrity, prefix/acyclic
+//! order, replica lockstep — is *asserted*, not reported: any violation
+//! aborts the sweep.
 //!
 //! ```sh
-//! cargo run --release --bin fault_sweep            # full sweep
+//! cargo run --release --bin fault_sweep            # full scripted sweep
 //! cargo run --release --bin fault_sweep -- --smoke # CI-sized: 1 cell/rf
+//! cargo run --release --bin fault_sweep -- --smoke --adversary leader-hunter
 //! ```
 
-use flexcast_chaos::{run_schedule, scenarios, FaultSchedule};
+use flexcast_chaos::{run_adversary, run_schedule, scenarios, FaultSchedule};
 use flexcast_harness::replicated::{build_world, collect, replica_pid, ReplicatedConfig};
 use flexcast_overlay::LatencyMatrix;
 use flexcast_sim::{ProcessId, SimTime};
 use flexcast_types::GroupId;
+use std::collections::BTreeSet;
 
 const MAX_EVENTS: u64 = 200_000_000;
 
@@ -116,8 +125,76 @@ fn dedup_horizon_guard(schedule: FaultSchedule, cfg: &ReplicatedConfig) -> Fault
     schedule
 }
 
+/// One leader-hunter cell: the reactive adversary kills group 0's
+/// *current* leader `delay_ms` after each failover, `k` times. Prints the
+/// fired-action trace — replaying it through `run_schedule` on the same
+/// seed reproduces the execution, so any failure here is a plain timed
+/// schedule away from a deterministic repro.
+fn run_hunter_cell(rf: u32, delay_ms: f64, k: u32, smoke: bool) {
+    let n_groups: u16 = 3;
+    let mut cfg = ReplicatedConfig::small(n_groups, rf, 40 + rf as u64);
+    if smoke {
+        cfg.n_clients = 1;
+        cfg.msgs_per_client = 4;
+        cfg.stop_at = SimTime::from_secs(15);
+    } else {
+        cfg.n_clients = 2;
+        cfg.msgs_per_client = 10;
+    }
+
+    let m = matrix(n_groups as usize);
+    let mut world = build_world(&cfg, &m);
+    let mut hunter = scenarios::leader_hunter(GroupId(0), delay_ms, k).down_ms(1_200.0);
+    let start = std::time::Instant::now();
+    let run = run_adversary(&mut world, &mut hunter, MAX_EVENTS);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let stats = world.stats();
+    let mut r = collect(&cfg, &world);
+
+    assert!(
+        r.check.safety_ok(),
+        "safety violation at rf={rf} hunter delay={delay_ms} k={k}: {:?}",
+        r.check
+    );
+    let victims: BTreeSet<ProcessId> = hunter.kills().iter().map(|&(_, p)| p).collect();
+    let p50 = r.latency.percentile(50.0).unwrap_or(f64::NAN);
+    let p90 = r.latency.percentile(90.0).unwrap_or(f64::NAN);
+    println!(
+        "  rf={:<2} hunt delay={:>4.0}ms k={k}  kills={} ({} distinct leaders)  avail={:>6.1}% ({}/{})  p50={:>7.1}ms p90={:>7.1}ms  dropped={:<5} events={}  eps={:.0}",
+        rf,
+        delay_ms,
+        hunter.kills().len(),
+        victims.len(),
+        100.0 * r.availability,
+        r.completed,
+        r.issued,
+        p50,
+        p90,
+        r.dropped,
+        r.events,
+        stats.events_per_sec(wall_secs),
+    );
+    // The replay script: every action the adversary actually fired.
+    for (t, ev) in &run.actions {
+        println!("      @{:>9.1}ms {:?}", t.as_ms(), ev);
+    }
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let hunter = match args.iter().position(|a| a == "--adversary") {
+        Some(i) => {
+            let which = args.get(i + 1).map(String::as_str);
+            assert_eq!(
+                which,
+                Some("leader-hunter"),
+                "unknown adversary {which:?}; supported: leader-hunter"
+            );
+            true
+        }
+        None => false,
+    };
     let rfs = [1u32, 3, 5];
     let crashes: &[f64] = if smoke {
         &[150.0]
@@ -145,6 +222,19 @@ fn main() {
                     },
                     smoke,
                 );
+            }
+        }
+    }
+    if hunter {
+        println!("adversary axis: leader hunter on group 0 (reactive, state-triggered)");
+        let delays: &[f64] = if smoke {
+            &[250.0]
+        } else {
+            &[100.0, 250.0, 500.0]
+        };
+        for &rf in if smoke { &[3u32][..] } else { &[3u32, 5][..] } {
+            for &delay_ms in delays {
+                run_hunter_cell(rf, delay_ms, 3, smoke);
             }
         }
     }

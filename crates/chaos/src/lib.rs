@@ -4,33 +4,62 @@
 //! survives replica failures through state machine replication — but a
 //! claim like that is only as good as the failure scenarios it has been
 //! exercised under. This crate makes fault scenarios first-class,
-//! explorable configurations:
+//! explorable configurations, in two layers:
 //!
-//! * [`FaultEvent`] — one timed fault: crash/recover a process, start/heal
-//!   a symmetric or asymmetric partition, install a probabilistic
+//! **Timed scripts** — faults at pre-scripted simulated times:
+//!
+//! * [`FaultEvent`] — one fault: crash/recover a process, start/heal a
+//!   symmetric or asymmetric partition, install a probabilistic
 //!   [`LinkFault`](flexcast_sim::LinkFault) (drop/duplicate/reorder), or
 //!   spike the latency of every link touching a set of processes.
-//! * [`FaultSchedule`] — a declarative, composable script of timed events,
+//! * [`FaultSchedule`] — a declarative, composable script of timed events
 //!   built through a small builder DSL ([`FaultSchedule::crash_at`],
-//!   [`FaultSchedule::partition_between`], ...).
-//! * [`run_schedule`] — the driver: interleaves `World::run_until` with
-//!   event application, then runs the world to quiescence. Faults sample
-//!   the world's seeded RNG, so every chaotic run is exactly reproducible
-//!   from `(world seed, schedule)`.
-//! * [`scenarios`] — canned schedule generators (crash/recover, rolling
-//!   restarts, WAN partitions) for sweeps and examples.
+//!   [`FaultSchedule::partition_between`], ...) and composed with
+//!   [`FaultSchedule::merge`], [`FaultSchedule::offset_by`], and
+//!   [`FaultSchedule::repeat`].
+//! * [`run_schedule`] — the timed driver (a thin compatibility wrapper
+//!   over [`run_adversary`] since the reactive redesign).
+//!
+//! **Reactive adversaries** — faults triggered by *execution state*,
+//! published through the simulator's observation plane
+//! ([`flexcast_sim::Observation`], DESIGN.md §9):
+//!
+//! * [`Adversary`] — the trigger→action core: the driver feeds it every
+//!   observation (leadership transitions, delivery milestones,
+//!   quiescence) and it answers with immediate or delayed fault actions
+//!   through a [`FaultCtx`].
+//! * [`Trigger`]/[`Action`]/[`Rule`]/[`RuleBook`] — a declarative rule
+//!   builder for the common cases, no hand-written state machine needed.
+//! * [`run_adversary`] — the reactive driver: interleaves simulation,
+//!   observation dispatch, and fault application; returns the
+//!   fired-action trace ([`AdversaryRun`]) that replays the run as a
+//!   plain schedule.
+//! * [`scenarios::leader_hunter`] — the flagship: crash whichever
+//!   replica *currently* leads a group a fixed delay after each
+//!   failover, up to `k` kills. Inexpressible as a schedule because each
+//!   victim's identity is an outcome of the previous kill.
+//!
+//! Both layers sample every fault draw from the world's own seeded RNG
+//! and fire actions in `(time, scheduling order)`, so every chaotic run —
+//! scripted or reactive — is exactly reproducible from `(world seed,
+//! schedule/adversary)`.
 //!
 //! The crate is protocol-agnostic: it manipulates the simulator only.
-//! `flexcast-harness` supplies the replicated FlexCast worlds these
-//! schedules are pointed at, and `flexcast-bench`'s `fault_sweep` binary
-//! sweeps schedule parameters against replication factors.
+//! `flexcast-harness` supplies the replicated FlexCast worlds (and the
+//! observation publishers) these drivers are pointed at, and
+//! `flexcast-bench`'s `fault_sweep` binary sweeps schedule and adversary
+//! parameters against replication factors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod driver;
 pub mod scenarios;
 pub mod schedule;
 
-pub use driver::{apply_event, run_schedule};
+pub use adversary::{
+    Action, Adversary, ChaosError, FaultCtx, Rule, RuleBook, ScheduleAdversary, Target, Trigger,
+};
+pub use driver::{apply_event, run_adversary, run_schedule, try_apply_event, AdversaryRun};
 pub use schedule::{FaultEvent, FaultSchedule};

@@ -5,9 +5,16 @@
 //! composable [`FaultSchedule`] back. They cover the scenario axes the
 //! ROADMAP asks for: crash/failover, Byzantine-free churn (rolling
 //! restarts), and WAN partition sweeps.
+//!
+//! The one scenario no schedule can express is here too:
+//! [`leader_hunter`], a reactive [`Adversary`] that crashes whichever
+//! replica *currently* leads a group, a fixed delay after each failover —
+//! the identity of its victim is an outcome of its own earlier kills.
 
-use crate::schedule::FaultSchedule;
-use flexcast_sim::ProcessId;
+use crate::adversary::{Adversary, FaultCtx};
+use crate::schedule::{FaultEvent, FaultSchedule};
+use flexcast_sim::{Observation, ProcessId, SimTime};
+use flexcast_types::GroupId;
 
 /// Crash `pid` at `crash_ms` and bring it back `down_ms` later.
 pub fn crash_recover(pid: ProcessId, crash_ms: f64, down_ms: f64) -> FaultSchedule {
@@ -57,11 +64,79 @@ pub fn isolate(
     FaultSchedule::new().partition_between(start_ms, start_ms + duration_ms, &[pid], others)
 }
 
+/// The leader hunter: crash each newly elected leader of `group`,
+/// `delay_ms` after its election, up to `k` kills — the sharpest fault
+/// axis against a replicated group, because it re-aims at every failover.
+/// Killed replicas recover after [`LeaderHunter::down_ms`] (default
+/// 1 500 ms), so the group keeps a quorum and each kill forces a fresh
+/// election for the hunter to observe.
+///
+/// Drive it with [`crate::run_adversary`] over a world whose replicas
+/// publish [`Observation::LeaderElected`] (the `flexcast-harness`
+/// replicated actors do). [`LeaderHunter::kills`] records who was shot
+/// and when; the driver's [`crate::AdversaryRun::actions`] trace replays
+/// the run as a plain schedule.
+pub fn leader_hunter(group: GroupId, delay_ms: f64, k: u32) -> LeaderHunter {
+    LeaderHunter {
+        group,
+        delay_ms,
+        remaining: k,
+        down_ms: 1_500.0,
+        kills: Vec::new(),
+    }
+}
+
+/// The reactive adversary built by [`leader_hunter`].
+#[derive(Clone, Debug)]
+pub struct LeaderHunter {
+    group: GroupId,
+    delay_ms: f64,
+    remaining: u32,
+    down_ms: f64,
+    kills: Vec<(SimTime, ProcessId)>,
+}
+
+impl LeaderHunter {
+    /// Sets how long a killed leader stays down before recovering
+    /// (default 1 500 ms). Keep it past the group's election timeout so
+    /// the failover completes while the victim is still dark.
+    pub fn down_ms(mut self, ms: f64) -> Self {
+        self.down_ms = ms;
+        self
+    }
+
+    /// Every kill fired so far: `(crash time, victim pid)` in firing
+    /// order.
+    pub fn kills(&self) -> &[(SimTime, ProcessId)] {
+        &self.kills
+    }
+
+    /// Kills not yet spent.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+}
+
+impl Adversary for LeaderHunter {
+    fn on_observation(&mut self, obs: &Observation, ctx: &mut FaultCtx) {
+        let Observation::LeaderElected { group, pid, .. } = obs else {
+            return;
+        };
+        if *group != self.group || self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let at = ctx.now() + SimTime::from_ms(self.delay_ms);
+        self.kills.push((at, *pid));
+        ctx.after_ms(self.delay_ms, FaultEvent::Crash(*pid));
+        ctx.after_ms(self.delay_ms + self.down_ms, FaultEvent::Recover(*pid));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schedule::FaultEvent;
-    use flexcast_sim::SimTime;
 
     #[test]
     fn rolling_restart_staggers_crashes() {
@@ -87,5 +162,45 @@ mod tests {
         assert_eq!(wan_partition(&[0, 1], &[2, 3], 5.0, 10.0).len(), 2);
         let s = isolate(0, &[1, 2], 0.0, 100.0);
         assert_eq!(s.horizon(), SimTime::from_ms(100.0));
+    }
+
+    #[test]
+    fn leader_hunter_shoots_each_new_leader_until_out_of_ammo() {
+        let mut h = leader_hunter(GroupId(0), 200.0, 2).down_ms(1_000.0);
+        let elected = |pid: ProcessId, ms: f64| Observation::LeaderElected {
+            group: GroupId(0),
+            replica: pid as u32,
+            pid,
+            at: SimTime::from_ms(ms),
+        };
+        // First election: kill scheduled 200 ms later, recovery 1 s after.
+        let mut ctx = FaultCtx::new(SimTime::from_ms(10.0));
+        h.on_observation(&elected(0, 10.0), &mut ctx);
+        assert_eq!(h.kills(), &[(SimTime::from_ms(210.0), 0)]);
+        assert_eq!(h.remaining(), 1);
+
+        // Another group's election: ignored.
+        let mut ctx = FaultCtx::new(SimTime::from_ms(50.0));
+        h.on_observation(
+            &Observation::LeaderElected {
+                group: GroupId(1),
+                replica: 0,
+                pid: 9,
+                at: SimTime::from_ms(50.0),
+            },
+            &mut ctx,
+        );
+        assert_eq!(h.remaining(), 1, "wrong group does not spend a kill");
+
+        // Failover elects replica 1: second (last) kill.
+        let mut ctx = FaultCtx::new(SimTime::from_ms(600.0));
+        h.on_observation(&elected(1, 600.0), &mut ctx);
+        assert_eq!(h.remaining(), 0);
+        assert_eq!(h.kills().len(), 2);
+
+        // Out of ammo: further elections are observed but spared.
+        let mut ctx = FaultCtx::new(SimTime::from_ms(1_200.0));
+        h.on_observation(&elected(2, 1_200.0), &mut ctx);
+        assert_eq!(h.kills().len(), 2);
     }
 }

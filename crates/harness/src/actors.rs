@@ -142,6 +142,14 @@ impl ServerActor {
             id,
             at: now,
         });
+        // Milestone probe for reactive adversaries: the running delivery
+        // count, published only when an observation driver is attached.
+        ctx.observe(flexcast_sim::Observation::DeliveryCount {
+            node: self.node,
+            pid: ctx.me(),
+            count: self.stats.delivered,
+            at: now,
+        });
         let reply = NetMsg::Reply { id };
         self.send_counted(client_pid(self.n_servers, id.sender), reply, ctx);
     }

@@ -49,7 +49,7 @@ use crate::checker::{self, CheckReport, DeliveryEvent};
 use crate::netmsg::NetMsg;
 use flexcast_core::{FlexCastGroup, Output, Packet};
 use flexcast_overlay::{CDagOrder, LatencyMatrix};
-use flexcast_sim::{Actor, Ctx, LinkModel, ProcessId, SimTime, Summary, World};
+use flexcast_sim::{Actor, Ctx, LinkModel, Observation, ProcessId, SimTime, Summary, World};
 use flexcast_smr::{GroupEffect, ReplicatedGroup};
 use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId};
 use rand::rngs::StdRng;
@@ -377,10 +377,20 @@ impl ReplicatedActor {
 
     /// After any interaction with the replication layer: if this replica
     /// just became leader, seed the log with a no-op and propose every
-    /// pending input it has been holding as a follower.
+    /// pending input it has been holding as a follower. Leadership flips
+    /// are published to the observation plane right here — the one place
+    /// the actor already detects them — so reactive adversaries
+    /// (`flexcast-chaos::run_adversary`) can target the *current* leader
+    /// without reaching into actor internals.
     fn check_transition(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
         if self.rg.is_leader() && !self.was_leader {
             self.was_leader = true;
+            ctx.observe(Observation::LeaderElected {
+                group: self.node,
+                replica: self.replica,
+                pid: ctx.me(),
+                at: ctx.now(),
+            });
             let mut fx = Vec::new();
             self.rg.submit(
                 ReplCmd::Noop {
@@ -399,6 +409,14 @@ impl ReplicatedActor {
             }
             self.emit(fx, ctx);
         } else if !self.rg.is_leader() {
+            if self.was_leader {
+                ctx.observe(Observation::LeaderLost {
+                    group: self.node,
+                    replica: self.replica,
+                    pid: ctx.me(),
+                    at: ctx.now(),
+                });
+            }
             self.was_leader = false;
         }
     }
@@ -481,6 +499,19 @@ impl ReplicatedActor {
 
 impl Actor<NetMsg> for ReplicatedActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        // A restart is a leadership transition from the outside: a
+        // replica that led before the crash and still *believes* it leads
+        // (its persisted ballot state is local — a rival elected during
+        // the downtime is unknown until its higher ballot arrives)
+        // re-assumes leadership rather than silently continuing, so reset
+        // the transition detector. The next `check_transition` then
+        // re-publishes `LeaderElected` (and re-seeds the log with a
+        // no-op): the probe reports leadership *claims*, so under a dual
+        // claim both claimants are observable and a reactive adversary
+        // may well shoot the stale one — an honest hazard of failover,
+        // not a probe bug (DESIGN.md §9.5). At first boot the flag is
+        // already false.
+        self.was_leader = false;
         // First boot: replica 0 of each group runs the initial election.
         // On recovery (the simulator re-runs on_start after a crash heals)
         // this block is skipped and the suspicion logic takes over.
@@ -536,6 +567,31 @@ impl Actor<NetMsg> for ReplicatedActor {
     fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_, NetMsg>) {
         self.on_tick(ctx);
     }
+}
+
+/// Sends a client-path message to every replica of each group in
+/// `targets`, cloning only for links that will deliver
+/// ([`Ctx::send_many`]). Shared by clients and the GC flusher so the
+/// envelope and pid layout are encoded once.
+fn send_msg_to_groups(
+    n_groups: usize,
+    rf: u32,
+    reply_client: ClientId,
+    m: &Message,
+    targets: &[GroupId],
+    ctx: &mut Ctx<'_, NetMsg>,
+) {
+    let pids: Vec<ProcessId> = targets
+        .iter()
+        .flat_map(|&g| (0..rf).map(move |r| replica_pid(g, r, rf)))
+        .collect();
+    ctx.send_many(
+        pids,
+        NetMsg::Client {
+            msg: m.clone(),
+            reply_to: client_pid(n_groups, rf, reply_client),
+        },
+    );
 }
 
 struct OutstandingTxn {
@@ -617,21 +673,10 @@ impl ReplClientActor {
         dst
     }
 
-    /// Sends `m` to every replica of each group in `targets`, cloning
-    /// only for links that will deliver ([`Ctx::send_many`]).
+    /// Sends `m` to every replica of each group in `targets`
+    /// ([`send_msg_to_groups`]).
     fn send_to_groups(&self, m: &Message, targets: &[GroupId], ctx: &mut Ctx<'_, NetMsg>) {
-        let n_groups = self.order.len();
-        let pids: Vec<ProcessId> = targets
-            .iter()
-            .flat_map(|&g| (0..self.rf).map(move |r| replica_pid(g, r, self.rf)))
-            .collect();
-        ctx.send_many(
-            pids,
-            NetMsg::Client {
-                msg: m.clone(),
-                reply_to: client_pid(n_groups, self.rf, self.id),
-            },
-        );
+        send_msg_to_groups(self.order.len(), self.rf, self.id, m, targets, ctx);
     }
 
     /// The FlexCast entry point for `m`: the node holding the lowest rank
@@ -721,13 +766,130 @@ impl Actor<NetMsg> for ReplClientActor {
     }
 }
 
-/// An actor in a replicated world: a group replica or a client.
+/// A periodic garbage-collection flusher for replicated worlds (§4.3
+/// under replication — the ROADMAP's "GC under replication" axis): every
+/// `period` it multicasts one FlexCast flush message to all groups
+/// through the normal replicated entry path, waits for every group's ack
+/// (retrying unacked destinations like [`ReplClientActor`] does), then
+/// issues the next — up to `n_flushes`. Each delivered flush makes every
+/// engine prune its history up to the flush fence and rotate tombstones,
+/// so chaos runs exercise GC against crashes and failovers.
+pub struct ReplFlushActor {
+    id: ClientId,
+    rf: u32,
+    order: CDagOrder,
+    n_flushes: u32,
+    period: SimTime,
+    stop_at: SimTime,
+    seq: u32,
+    outstanding: Option<(MsgId, DestSet)>,
+    /// Every flush issued, with its (all-groups) destination set.
+    pub issued: Vec<(MsgId, DestSet)>,
+    /// Flushes acked by every group.
+    pub completed: u64,
+}
+
+impl ReplFlushActor {
+    /// Creates a flusher issuing `n_flushes` flushes, one per `period`.
+    pub fn new(
+        id: ClientId,
+        rf: u32,
+        order: CDagOrder,
+        n_flushes: u32,
+        period: SimTime,
+        stop_at: SimTime,
+    ) -> Self {
+        ReplFlushActor {
+            id,
+            rf,
+            order,
+            n_flushes,
+            period,
+            stop_at,
+            seq: 0,
+            outstanding: None,
+            issued: Vec::new(),
+            completed: 0,
+        }
+    }
+
+    fn flush_msg(&self, id: MsgId) -> Message {
+        FlexCastGroup::flush_message(id, self.order.len() as u16)
+    }
+
+    /// Sends the flush to every replica of each group in `targets`
+    /// ([`send_msg_to_groups`]).
+    fn send_to_groups(&self, m: &Message, targets: &[GroupId], ctx: &mut Ctx<'_, NetMsg>) {
+        send_msg_to_groups(self.order.len(), self.rf, self.id, m, targets, ctx);
+    }
+
+    /// The flush entry point: the node holding rank 0 (a flush targets
+    /// every group, so its lca is the lowest rank).
+    fn entry(&self) -> GroupId {
+        self.order.node_at(GroupId(0))
+    }
+}
+
+impl Actor<NetMsg> for ReplFlushActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        if self.n_flushes > 0 && ctx.now() + self.period < self.stop_at {
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NetMsg, _ctx: &mut Ctx<'_, NetMsg>) {
+        let NetMsg::Reply { id } = msg else {
+            panic!("flushers only receive replies");
+        };
+        let Some((out_id, acked)) = &mut self.outstanding else {
+            return; // late duplicate for a completed flush
+        };
+        if *out_id != id {
+            return; // ack for an older flush
+        }
+        let group = group_of(from, self.rf);
+        acked.insert(group);
+        if *acked == DestSet::all(self.order.len()) {
+            self.completed += 1;
+            self.outstanding = None;
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_, NetMsg>) {
+        match &self.outstanding {
+            Some((id, acked)) => {
+                // Retry to every unacked group; replicated dedup absorbs
+                // duplicates and leaders re-ack delivered flushes.
+                let m = self.flush_msg(*id);
+                let targets: Vec<GroupId> = m.dst.difference(*acked).iter().collect();
+                self.send_to_groups(&m, &targets, ctx);
+            }
+            None if self.seq < self.n_flushes => {
+                let id = MsgId::new(self.id, self.seq);
+                self.seq += 1;
+                let m = self.flush_msg(id);
+                self.issued.push((id, m.dst));
+                self.outstanding = Some((id, DestSet::new()));
+                self.send_to_groups(&m, &[self.entry()], ctx);
+            }
+            None => return, // all flushes issued and completed
+        }
+        if ctx.now() + self.period < self.stop_at {
+            ctx.set_timer(self.period, 0);
+        }
+    }
+}
+
+/// An actor in a replicated world: a group replica, a client, or the GC
+/// flusher.
 #[allow(clippy::large_enum_variant)]
 pub enum ReplNode {
     /// One Paxos replica of a FlexCast group.
     Replica(ReplicatedActor),
     /// A closed-loop multicast client.
     Client(ReplClientActor),
+    /// The periodic garbage-collection flusher.
+    Flusher(ReplFlushActor),
 }
 
 impl Actor<NetMsg> for ReplNode {
@@ -735,6 +897,7 @@ impl Actor<NetMsg> for ReplNode {
         match self {
             ReplNode::Replica(r) => r.on_start(ctx),
             ReplNode::Client(c) => c.on_start(ctx),
+            ReplNode::Flusher(f) => f.on_start(ctx),
         }
     }
 
@@ -742,6 +905,7 @@ impl Actor<NetMsg> for ReplNode {
         match self {
             ReplNode::Replica(r) => r.on_message(from, msg, ctx),
             ReplNode::Client(c) => c.on_message(from, msg, ctx),
+            ReplNode::Flusher(f) => f.on_message(from, msg, ctx),
         }
     }
 
@@ -749,6 +913,7 @@ impl Actor<NetMsg> for ReplNode {
         match self {
             ReplNode::Replica(r) => r.on_timer(token, ctx),
             ReplNode::Client(c) => c.on_timer(token, ctx),
+            ReplNode::Flusher(f) => f.on_timer(token, ctx),
         }
     }
 }
@@ -788,6 +953,14 @@ pub struct ReplicatedConfig {
     /// advertised view lives inside the replicated state machine, so it
     /// survives leader failover.
     pub advert_stride: Option<u32>,
+    /// GC flush traffic: `Some(period)` adds a [`ReplFlushActor`] issuing
+    /// [`ReplicatedConfig::n_flushes`] flush multicasts, one per period.
+    /// `None` (the default) runs without GC, preserving pre-existing
+    /// executions bit-for-bit.
+    pub flush_period: Option<SimTime>,
+    /// Number of flushes the flusher issues (ignored without
+    /// [`ReplicatedConfig::flush_period`]).
+    pub n_flushes: u32,
 }
 
 impl ReplicatedConfig {
@@ -809,6 +982,8 @@ impl ReplicatedConfig {
             retransmit_every: 8,
             stop_at: SimTime::from_secs(30),
             advert_stride: None,
+            flush_period: None,
+            n_flushes: 0,
         }
     }
 }
@@ -890,6 +1065,19 @@ pub fn build_world(cfg: &ReplicatedConfig, matrix: &LatencyMatrix) -> World<NetM
         )));
         sites.push(GroupId((c % cfg.n_groups as usize) as u16));
     }
+    if let Some(period) = cfg.flush_period {
+        // The flusher is client n_clients in the pid layout, co-located
+        // with the flush entry group (the rank-0 node).
+        actors.push(ReplNode::Flusher(ReplFlushActor::new(
+            ClientId(cfg.n_clients as u32),
+            cfg.rf,
+            cfg.order.clone(),
+            cfg.n_flushes,
+            period,
+            cfg.stop_at,
+        )));
+        sites.push(cfg.order.node_at(GroupId(0)));
+    }
 
     let link = LinkModel::new(matrix.clone(), sites, cfg.jitter_ms);
     World::new(actors, link, cfg.seed)
@@ -923,6 +1111,10 @@ pub fn collect(cfg: &ReplicatedConfig, world: &World<NetMsg, ReplNode>) -> Repli
                     first_ack.record(ms);
                 }
             }
+            // Flushes join the registry (the checker must accept their
+            // deliveries and require them at every group) but stay out of
+            // the transaction counts the availability metric reports.
+            ReplNode::Flusher(f) => registry.extend(f.issued.iter().copied()),
         }
     }
 
@@ -1067,6 +1259,44 @@ mod tests {
         }
         assert!(adverts > 0, "advertisement flow engaged under replication");
         assert!(suppressed > 0, "cross-link duplicates were suppressed");
+    }
+
+    #[test]
+    fn flusher_runs_gc_under_replication() {
+        let mut cfg = ReplicatedConfig::small(3, 3, 19);
+        cfg.flush_period = Some(SimTime::from_ms(600.0));
+        cfg.n_flushes = 4;
+        let m = matrix(3);
+        let mut world = build_world(&cfg, &m);
+        world.run_to_quiescence(40_000_000);
+        let r = collect(&cfg, &world);
+        r.check.assert_ok();
+        assert_eq!(r.availability, 1.0);
+
+        let ReplNode::Flusher(f) = world.actor(world.len() - 1) else {
+            panic!("flusher sits last in the pid layout");
+        };
+        assert_eq!(f.completed, 4, "every flush acked by every group");
+        assert_eq!(f.issued.len(), 4);
+
+        // GC engaged: at least one engine's live history is smaller than
+        // its delivery log, and every pruned id stays tombstoned (seen).
+        let mut pruned_somewhere = false;
+        for pid in 0..world.len() {
+            if let ReplNode::Replica(rep) = world.actor(pid) {
+                let engine = rep.state().engine();
+                for &id in rep.state().delivery_log() {
+                    if !engine.history().contains(id) {
+                        pruned_somewhere = true;
+                        assert!(
+                            engine.history().has_seen(id),
+                            "pruned {id:?} lost its tombstone"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(pruned_somewhere, "flush traffic pruned some history");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod fault;
 pub mod link;
 pub mod linkstate;
+pub mod obs;
 pub mod stats;
 pub mod time;
 pub mod world;
@@ -26,6 +27,7 @@ pub mod world;
 pub use fault::LinkFault;
 pub use link::LinkModel;
 pub use linkstate::LinkState;
+pub use obs::Observation;
 pub use stats::{SimStats, Summary};
 pub use time::SimTime;
 pub use world::{Actor, Ctx, ProcessId, World};

@@ -1,6 +1,7 @@
 //! The simulation world: actors, event queue, and FIFO links.
 
 use crate::linkstate::LinkState;
+use crate::obs::Observation;
 use crate::stats::SimStats;
 use crate::{LinkFault, LinkModel, SimTime};
 use rand::rngs::StdRng;
@@ -47,6 +48,8 @@ pub struct Ctx<'a, M> {
     me: ProcessId,
     sends: &'a mut Vec<SendOp<M>>,
     timers: &'a mut Vec<(SimTime, u64)>,
+    observations: &'a mut Vec<Observation>,
+    probes: bool,
 }
 
 impl<M> Ctx<'_, M> {
@@ -88,6 +91,24 @@ impl<M> Ctx<'_, M> {
     /// Schedules [`Actor::on_timer`] with `token` after `delay`.
     pub fn set_timer(&mut self, delay: SimTime, token: u64) {
         self.timers.push((self.now + delay, token));
+    }
+
+    /// True when an observation driver enabled probes
+    /// ([`World::enable_probes`]); actors may use this to skip even
+    /// constructing an [`Observation`] on undriven runs.
+    pub fn probes_enabled(&self) -> bool {
+        self.probes
+    }
+
+    /// Publishes a typed observation to the world's observation buffer
+    /// (see [`crate::obs`]). A no-op unless probes are enabled, so
+    /// undriven runs pay nothing. Publishing is pure data flow: it draws
+    /// no randomness and schedules no events, so it never perturbs the
+    /// execution.
+    pub fn observe(&mut self, obs: Observation) {
+        if self.probes {
+            self.observations.push(obs);
+        }
     }
 }
 
@@ -185,6 +206,10 @@ pub struct World<M, A: Actor<M>> {
     scratch_timers: Vec<(SimTime, u64)>,
     /// Reusable fate buffer for [`Ctx::send_many`] routing.
     scratch_fates: Vec<SendFate>,
+    /// Published-but-undrained observations; only filled when `probes`.
+    observations: Vec<Observation>,
+    /// Observation publishing gate (see [`World::enable_probes`]).
+    probes: bool,
 }
 
 impl<M: Clone, A: Actor<M>> World<M, A> {
@@ -216,6 +241,8 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
             scratch_sends: Vec::with_capacity(16),
             scratch_timers: Vec::with_capacity(4),
             scratch_fates: Vec::with_capacity(8),
+            observations: Vec::new(),
+            probes: false,
         };
         for pid in 0..n {
             w.push(SimTime::ZERO, Event::Start { pid });
@@ -276,6 +303,26 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
     /// The deepest the event queue has been so far.
     pub fn peak_queue_depth(&self) -> usize {
         self.peak_queue_depth
+    }
+
+    /// Turns on the observation plane: from now on, [`Ctx::observe`]
+    /// buffers observations for a driver to [`World::drain_observations`].
+    /// Off by default so undriven runs never accumulate anything.
+    pub fn enable_probes(&mut self) {
+        self.probes = true;
+    }
+
+    /// Moves every buffered observation into `into`, preserving publish
+    /// order (which follows the deterministic event order).
+    pub fn drain_observations(&mut self, into: &mut Vec<Observation>) {
+        into.append(&mut self.observations);
+    }
+
+    /// The scheduled time of the earliest queued event, if any. Drivers
+    /// use this to decide whether a pending external action (e.g. a fault)
+    /// fires before the simulation's own next step.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.at)
     }
 
     /// Snapshot of the run's throughput counters.
@@ -560,6 +607,8 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
                 me: pid,
                 sends: &mut sends,
                 timers: &mut timers,
+                observations: &mut self.observations,
+                probes: self.probes,
             };
             f(&mut self.actors[pid], &mut ctx);
         }
@@ -1063,6 +1112,98 @@ mod tests {
         w2.run_to_quiescence(100);
         assert_eq!(w1.processed_events(), w2.processed_events());
         assert_eq!(w1.sent_messages(), w2.sent_messages());
+    }
+
+    /// Publishes a `Custom` observation for every pong received.
+    struct Observer {
+        peer: ProcessId,
+        pings: u64,
+    }
+
+    impl Actor<u64> for Observer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            for k in 0..self.pings {
+                ctx.send(self.peer, k);
+            }
+        }
+        fn on_message(&mut self, from: ProcessId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            if self.pings == 0 {
+                ctx.send(from, msg); // echo side
+            } else {
+                ctx.observe(crate::Observation::Custom {
+                    pid: ctx.me(),
+                    tag: 1,
+                    value: msg,
+                    at: ctx.now(),
+                });
+            }
+        }
+    }
+
+    fn observer_world() -> World<u64, Observer> {
+        let mut m = LatencyMatrix::zero(2);
+        m.set_rtt(0, 1, 10.0);
+        let a = Observer { peer: 1, pings: 3 };
+        let b = Observer { peer: 0, pings: 0 };
+        World::new(
+            vec![a, b],
+            LinkModel::new(m, vec![GroupId(0), GroupId(1)], 0.0),
+            5,
+        )
+    }
+
+    #[test]
+    fn observations_are_gated_off_by_default() {
+        let mut w = observer_world();
+        w.run_to_quiescence(100);
+        let mut got = Vec::new();
+        w.drain_observations(&mut got);
+        assert!(got.is_empty(), "no probes enabled, nothing buffered");
+    }
+
+    #[test]
+    fn enabled_probes_buffer_in_event_order_and_drain_once() {
+        let mut w = observer_world();
+        w.enable_probes();
+        w.run_to_quiescence(100);
+        let mut got = Vec::new();
+        w.drain_observations(&mut got);
+        let values: Vec<u64> = got
+            .iter()
+            .map(|o| match *o {
+                crate::Observation::Custom { value, pid, .. } => {
+                    assert_eq!(pid, 0, "published by the pinger");
+                    value
+                }
+                ref other => panic!("unexpected observation {other:?}"),
+            })
+            .collect();
+        assert_eq!(values, vec![0, 1, 2], "FIFO pongs, publish order");
+        assert_eq!(got[0].at(), SimTime::from_ms(10.0), "one RTT");
+        let mut again = Vec::new();
+        w.drain_observations(&mut again);
+        assert!(again.is_empty(), "draining moves, not copies");
+    }
+
+    #[test]
+    fn next_event_time_peeks_the_queue() {
+        let mut w = observer_world();
+        assert_eq!(w.next_event_time(), Some(SimTime::ZERO), "start events");
+        w.run_to_quiescence(100);
+        assert_eq!(w.next_event_time(), None, "quiescent");
+    }
+
+    #[test]
+    fn probes_do_not_perturb_the_execution() {
+        let run = |probes: bool| {
+            let mut w = observer_world();
+            if probes {
+                w.enable_probes();
+            }
+            w.run_to_quiescence(100);
+            (w.processed_events(), w.sent_messages(), w.now())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

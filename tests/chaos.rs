@@ -1,15 +1,20 @@
 //! End-to-end chaos acceptance: replicated FlexCast groups driven through
-//! scripted failures must stay safe (integrity, prefix/acyclic order,
-//! replica lockstep), complete every multicast once the faults heal, and
-//! replay deterministically from the seed.
+//! scripted failures *and reactive adversaries* must stay safe
+//! (integrity, prefix/acyclic order, replica lockstep), complete every
+//! multicast once the faults heal, and replay deterministically from the
+//! seed.
 
-use flexcast_chaos::{run_schedule, scenarios, FaultSchedule};
+use flexcast_chaos::{
+    apply_event, run_adversary, run_schedule, scenarios, FaultSchedule, ScheduleAdversary,
+};
 use flexcast_harness::replicated::{
-    build_world, collect, replica_pid, ReplNode, ReplicatedConfig, ReplicatedResult,
+    build_world, collect, group_of, replica_pid, ReplNode, ReplicatedConfig, ReplicatedResult,
 };
 use flexcast_overlay::LatencyMatrix;
-use flexcast_sim::ProcessId;
+use flexcast_sim::{ProcessId, SimTime};
 use flexcast_types::{GroupId, MsgId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 const MAX_EVENTS: u64 = 50_000_000;
 
@@ -212,5 +217,241 @@ fn crash_recover_across_replication_factors() {
         let r = run_with(&cfg, &schedule);
         r.check.assert_ok();
         assert_eq!(r.availability, 1.0, "rf={rf}");
+    }
+}
+
+/// The redesign's acceptance scenario: the leader hunter crashes the
+/// *current* leader of group 0 a fixed delay after each failover — so at
+/// least two distinct replicas of the same group die in one run — and the
+/// replicated world still completes every multicast with zero checker
+/// violations and the same completed-transaction count as a fault-free
+/// run. The fired-action trace replays the execution as a plain timed
+/// schedule, and identical seeds reproduce identical hunts.
+#[test]
+fn leader_hunter_kills_consecutive_leaders_and_the_world_survives() {
+    let cfg = ReplicatedConfig::small(3, 3, 7);
+    let m = matrix(3);
+
+    // Fault-free baseline for the transaction count.
+    let mut base = build_world(&cfg, &m);
+    base.run_to_quiescence(MAX_EVENTS);
+    let base_r = collect(&cfg, &base);
+    base_r.check.assert_ok();
+
+    let hunt = || {
+        let mut world = build_world(&cfg, &m);
+        let mut hunter = scenarios::leader_hunter(GroupId(0), 250.0, 3).down_ms(1_200.0);
+        let run = run_adversary(&mut world, &mut hunter, MAX_EVENTS);
+        let r = collect(&cfg, &world);
+        (r, run, hunter)
+    };
+    let (r, run, hunter) = hunt();
+    r.check.assert_ok();
+    assert_eq!(r.completed as usize, r.issued, "every multicast completed");
+    assert_eq!(
+        r.completed, base_r.completed,
+        "completed-transaction count unchanged under the hunt"
+    );
+
+    // The hunter spent its ammo on group 0's successive leaders: at
+    // least two *distinct* replicas of the same group were killed.
+    let victims: BTreeSet<ProcessId> = hunter.kills().iter().map(|&(_, pid)| pid).collect();
+    assert!(
+        victims.len() >= 2,
+        "expected ≥2 distinct leaders killed, got {:?}",
+        hunter.kills()
+    );
+    assert!(
+        victims.iter().all(|&pid| group_of(pid, 3) == GroupId(0)),
+        "every victim led group 0: {victims:?}"
+    );
+    assert_eq!(hunter.remaining(), 0, "all 3 kills found a leader");
+    // Kill times strictly increase: each kill answered a *new* election.
+    let times: Vec<SimTime> = hunter.kills().iter().map(|&(t, _)| t).collect();
+    assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+
+    // Deterministic: the same seed reproduces the same hunt.
+    let (r2, run2, _) = hunt();
+    assert_eq!(run.actions, run2.actions, "same victims, same times");
+    assert_eq!(r.events, r2.events);
+    assert_eq!(trace_ids(&r), trace_ids(&r2));
+
+    // Replayable: the fired-action trace *is* a timed schedule that
+    // reproduces the adversarial execution event-for-event.
+    let mut world3 = build_world(&cfg, &m);
+    run_schedule(&mut world3, &run.to_schedule(), MAX_EVENTS);
+    let r3 = collect(&cfg, &world3);
+    assert_eq!(r.events, r3.events);
+    assert_eq!(trace_ids(&r), trace_ids(&r3));
+    assert_eq!(r.replica_logs, r3.replica_logs);
+}
+
+/// GC under replication (ROADMAP axis): flush traffic runs concurrently
+/// with a targeted leader kill; every flush completes, history gets
+/// pruned, tombstones survive for every pruned id, and a survivor's
+/// snapshot round-trips bit-for-bit — pruned history, tombstones, and
+/// cursors included.
+#[test]
+fn gc_flushes_stay_consistent_under_a_leader_kill() {
+    let mut cfg = ReplicatedConfig::small(3, 3, 23);
+    cfg.flush_period = Some(SimTime::from_ms(600.0));
+    cfg.n_flushes = 4;
+    let m = matrix(3);
+
+    let mut world = build_world(&cfg, &m);
+    let mut hunter = scenarios::leader_hunter(GroupId(0), 200.0, 1).down_ms(1_000.0);
+    let run = run_adversary(&mut world, &mut hunter, MAX_EVENTS);
+    assert_eq!(hunter.kills().len(), 1, "the leader kill happened");
+    assert_eq!(run.actions.len(), 2, "crash + recover fired");
+
+    let r = collect(&cfg, &world);
+    r.check.assert_ok();
+    assert_eq!(r.availability, 1.0);
+
+    let ReplNode::Flusher(f) = world.actor(world.len() - 1) else {
+        panic!("flusher sits last in the pid layout");
+    };
+    assert_eq!(f.completed, 4, "every flush acked by every group");
+
+    // Tombstones stay consistent with pruned history on every replica:
+    // anything delivered but no longer in the live history must still be
+    // tombstoned (seen), or a late retransmission could re-admit it.
+    let mut pruned = 0u64;
+    for pid in 0..world.len() {
+        if let ReplNode::Replica(rep) = world.actor(pid) {
+            let engine = rep.state().engine();
+            for &id in rep.state().delivery_log() {
+                if !engine.history().contains(id) {
+                    pruned += 1;
+                    assert!(
+                        engine.history().has_seen(id),
+                        "pruned {id:?} lost its tombstone on pid {pid}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(pruned > 0, "flush traffic pruned history under the kill");
+
+    // Snapshots capture the post-GC state faithfully: restore must
+    // reproduce the exact bytes (history, tombstones, cursors included),
+    // including on a replica that was killed and recovered.
+    for pid in [replica_pid(GroupId(0), 0, 3), replica_pid(GroupId(1), 0, 3)] {
+        let ReplNode::Replica(rep) = world.actor(pid) else {
+            panic!("replica pids come first");
+        };
+        let snap = rep.state().engine().snapshot().expect("snapshot encodes");
+        let restored = flexcast_core::FlexCastGroup::restore(&snap).expect("snapshot decodes");
+        assert_eq!(
+            restored.snapshot().expect("re-snapshot encodes"),
+            snap,
+            "snapshot of pid {pid} did not round-trip bit-for-bit"
+        );
+        assert_eq!(
+            restored.delivered_count(),
+            rep.state().engine().delivered_count()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compat-layer equivalence: the reactive driver must reproduce the old
+// timed driver's executions exactly.
+// ---------------------------------------------------------------------------
+
+/// The pre-redesign `run_schedule` loop, reproduced verbatim as the
+/// reference semantics: advance to each event time, apply, then run to
+/// quiescence. The proptest below pins the adversary-driver compat layer
+/// (today's `run_schedule` *is* `run_adversary` over a
+/// `ScheduleAdversary`) against it.
+fn reference_run_schedule<M: Clone, A: flexcast_sim::Actor<M>>(
+    world: &mut flexcast_sim::World<M, A>,
+    schedule: &FaultSchedule,
+    max_events: u64,
+) -> u64 {
+    let mut n = 0;
+    for (t, ev) in schedule.sorted_events() {
+        n += world.run_until(t);
+        apply_event(world, ev);
+    }
+    n + world.run_to_quiescence(max_events.saturating_sub(n))
+}
+
+/// Builds a randomized-but-seed-determined schedule over a 2-group,
+/// rf=2 replicated world (pids 0–3 are replicas, 4 is the client).
+fn random_schedule(crash_pid: usize, crash_ms: f64, down_ms: f64, fault_kind: u8) -> FaultSchedule {
+    let mut s = FaultSchedule::new()
+        .crash_at(crash_ms, crash_pid)
+        .recover_at(crash_ms + down_ms, crash_pid);
+    match fault_kind % 4 {
+        0 => {}
+        1 => {
+            s = s.merge(scenarios::wan_partition(
+                &[0, 1],
+                &[2, 3],
+                crash_ms + 50.0,
+                700.0,
+            ));
+        }
+        2 => {
+            s = s.link_fault_between(
+                0.0,
+                2_000.0,
+                0,
+                2,
+                flexcast_sim::LinkFault {
+                    drop: 0.25,
+                    dup: 0.2,
+                    reorder: 0.2,
+                    extra_delay: SimTime::from_ms(2.0),
+                },
+            );
+        }
+        _ => {
+            s = s.latency_spike(100.0, 900.0, &[crash_pid], 25.0);
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// `run_adversary` with a schedule-wrapping adversary reproduces the
+    /// pre-redesign timed driver event-for-event: same delivered traces,
+    /// same replica logs, same `processed_events`, same drop counts —
+    /// across random crash/recover timings, partitions, link faults, and
+    /// spikes.
+    #[test]
+    fn schedule_adversary_matches_reference_driver(
+        seed in 0u64..1_000,
+        crash_pid in 0usize..4,
+        crash_ms in 50.0f64..1_200.0,
+        down_ms in 100.0f64..1_200.0,
+        fault_kind in 0u8..4,
+    ) {
+        let mut cfg = ReplicatedConfig::small(2, 2, seed);
+        cfg.n_clients = 1;
+        cfg.msgs_per_client = 4;
+        cfg.stop_at = SimTime::from_secs(12);
+        let schedule = random_schedule(crash_pid, crash_ms, down_ms, fault_kind);
+        let m = matrix(2);
+
+        let mut w_ref = build_world(&cfg, &m);
+        let ref_events = reference_run_schedule(&mut w_ref, &schedule, MAX_EVENTS);
+        let r_ref = collect(&cfg, &w_ref);
+
+        let mut w_adv = build_world(&cfg, &m);
+        let mut adv = ScheduleAdversary::new(schedule.clone());
+        let run = run_adversary(&mut w_adv, &mut adv, MAX_EVENTS);
+        let r_adv = collect(&cfg, &w_adv);
+
+        prop_assert_eq!(run.processed_events, ref_events);
+        prop_assert_eq!(r_adv.events, r_ref.events);
+        prop_assert_eq!(r_adv.dropped, r_ref.dropped);
+        prop_assert_eq!(r_adv.completed, r_ref.completed);
+        prop_assert_eq!(trace_ids(&r_adv), trace_ids(&r_ref));
+        prop_assert_eq!(r_adv.replica_logs, r_ref.replica_logs);
+        prop_assert_eq!(run.actions.len(), schedule.len());
     }
 }
