@@ -9,6 +9,7 @@ use flexcast_gtpcc::WorkloadMode;
 use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
 use flexcast_overlay::presets;
 use flexcast_sim::SimTime;
+use flexcast_telemetry::Telemetry;
 use std::hint::black_box;
 
 fn short(protocol: ProtocolKind, locality: f64, mode: WorkloadMode) -> ExperimentConfig {
@@ -24,6 +25,7 @@ fn short(protocol: ProtocolKind, locality: f64, mode: WorkloadMode) -> Experimen
         server_service_ms: 0.05,
         server_processing_ms: 20.0,
         advert_stride: Some(16),
+        telemetry: Telemetry::disabled(),
     }
 }
 

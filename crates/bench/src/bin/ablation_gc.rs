@@ -12,6 +12,7 @@ use flexcast_gtpcc::WorkloadMode;
 use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
 use flexcast_overlay::presets;
 use flexcast_sim::SimTime;
+use flexcast_telemetry::Telemetry;
 
 fn main() {
     let (n_clients, secs) = if quick_mode() { (24, 3) } else { (120, 8) };
@@ -30,8 +31,9 @@ fn main() {
             server_service_ms: 0.05,
             server_processing_ms: 20.0,
             advert_stride: None,
+            telemetry: Telemetry::disabled(),
         };
-        let mut result = run(&cfg);
+        let result = run(&cfg);
         result.check.assert_ok();
         let kbps: f64 = result
             .per_node

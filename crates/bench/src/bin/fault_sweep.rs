@@ -27,6 +27,7 @@ use flexcast_chaos::{run_adversary, run_schedule, scenarios, FaultSchedule};
 use flexcast_harness::replicated::{build_world, collect, replica_pid, ReplicatedConfig};
 use flexcast_overlay::LatencyMatrix;
 use flexcast_sim::{ProcessId, SimTime};
+use flexcast_telemetry::Telemetry;
 use flexcast_types::GroupId;
 use std::collections::BTreeSet;
 
@@ -53,9 +54,10 @@ struct Cell {
     part_ms: f64,
 }
 
-fn run_cell(cell: &Cell, smoke: bool) {
+fn run_cell(cell: &Cell, smoke: bool, telemetry: Telemetry) {
     let n_groups: u16 = 3;
     let mut cfg = ReplicatedConfig::small(n_groups, cell.rf, 40 + cell.rf as u64);
+    cfg.telemetry = telemetry;
     if smoke {
         cfg.n_clients = 1;
         cfg.msgs_per_client = 4;
@@ -86,7 +88,7 @@ fn run_cell(cell: &Cell, smoke: bool) {
     run_schedule(&mut world, &schedule, MAX_EVENTS);
     let wall_secs = start.elapsed().as_secs_f64();
     let stats = world.stats();
-    let mut r = collect(&cfg, &world);
+    let r = collect(&cfg, &world);
 
     assert!(
         r.check.safety_ok(),
@@ -96,10 +98,9 @@ fn run_cell(cell: &Cell, smoke: bool) {
         cell.part_ms,
         r.check
     );
-    let p50 = r.latency.percentile(50.0).unwrap_or(f64::NAN);
-    let p90 = r.latency.percentile(90.0).unwrap_or(f64::NAN);
+    let (p50, p90, p99, p999) = latency_row(&r.latency);
     println!(
-        "  rf={:<2} crash={:>5.0}ms part={:>5.0}ms  avail={:>6.1}% ({}/{})  p50={:>7.1}ms p90={:>7.1}ms  dropped={:<5} events={}  eps={:.0} peakq={}",
+        "  rf={:<2} crash={:>5.0}ms part={:>5.0}ms  avail={:>6.1}% ({}/{})  p50={:>7.1}ms p90={:>7.1}ms p99={:>7.1}ms p999={:>7.1}ms  dropped={:<5} events={}  eps={:.0} peakq={}",
         cell.rf,
         cell.crash_ms,
         cell.part_ms,
@@ -108,11 +109,22 @@ fn run_cell(cell: &Cell, smoke: bool) {
         r.issued,
         p50,
         p90,
+        p99,
+        p999,
         r.dropped,
         r.events,
         stats.events_per_sec(wall_secs),
         stats.peak_queue_depth,
     );
+}
+
+/// Completion-latency percentile row: `(p50, p90, p99, p999)` in ms,
+/// NaN-filled when the cell completed nothing.
+fn latency_row(latency: &flexcast_sim::Summary) -> (f64, f64, f64, f64) {
+    match latency.percentiles() {
+        Some(p) => (p.p50, p.p90, p.p99, p.p999),
+        None => (f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+    }
 }
 
 /// Sanity guard: the schedule must finish inside the maintenance-timer
@@ -149,7 +161,7 @@ fn run_hunter_cell(rf: u32, delay_ms: f64, k: u32, smoke: bool) {
     let run = run_adversary(&mut world, &mut hunter, MAX_EVENTS);
     let wall_secs = start.elapsed().as_secs_f64();
     let stats = world.stats();
-    let mut r = collect(&cfg, &world);
+    let r = collect(&cfg, &world);
 
     assert!(
         r.check.safety_ok(),
@@ -157,10 +169,9 @@ fn run_hunter_cell(rf: u32, delay_ms: f64, k: u32, smoke: bool) {
         r.check
     );
     let victims: BTreeSet<ProcessId> = hunter.kills().iter().map(|&(_, p)| p).collect();
-    let p50 = r.latency.percentile(50.0).unwrap_or(f64::NAN);
-    let p90 = r.latency.percentile(90.0).unwrap_or(f64::NAN);
+    let (p50, p90, p99, p999) = latency_row(&r.latency);
     println!(
-        "  rf={:<2} hunt delay={:>4.0}ms k={k}  kills={} ({} distinct leaders)  avail={:>6.1}% ({}/{})  p50={:>7.1}ms p90={:>7.1}ms  dropped={:<5} events={}  eps={:.0}",
+        "  rf={:<2} hunt delay={:>4.0}ms k={k}  kills={} ({} distinct leaders)  avail={:>6.1}% ({}/{})  p50={:>7.1}ms p90={:>7.1}ms p99={:>7.1}ms p999={:>7.1}ms  dropped={:<5} events={}  eps={:.0}",
         rf,
         delay_ms,
         hunter.kills().len(),
@@ -170,6 +181,8 @@ fn run_hunter_cell(rf: u32, delay_ms: f64, k: u32, smoke: bool) {
         r.issued,
         p50,
         p90,
+        p99,
+        p999,
         r.dropped,
         r.events,
         stats.events_per_sec(wall_secs),
@@ -195,6 +208,11 @@ fn main() {
         }
         None => false,
     };
+    let trace_out: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let rfs = [1u32, 3, 5];
     let crashes: &[f64] = if smoke {
         &[150.0]
@@ -221,6 +239,7 @@ fn main() {
                         part_ms,
                     },
                     smoke,
+                    Telemetry::disabled(),
                 );
             }
         }
@@ -237,6 +256,33 @@ fn main() {
                 run_hunter_cell(rf, delay_ms, 3, smoke);
             }
         }
+    }
+    // One extra instrumented cell, separate from the reported sweep so
+    // telemetry cost never shows up in the comparison rows.
+    if let Some(path) = &trace_out {
+        let tel = Telemetry::enabled();
+        println!("traced cell (rf=3, crash=150ms, part=600ms):");
+        run_cell(
+            &Cell {
+                rf: 3,
+                crash_ms: 150.0,
+                part_ms: 600.0,
+            },
+            smoke,
+            tel.clone(),
+        );
+        std::fs::write(path, tel.trace_json()).expect("write trace JSON");
+        let metrics_path = match path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.metrics.json"),
+            None => format!("{path}.metrics.json"),
+        };
+        std::fs::write(&metrics_path, tel.snapshot().to_json()).expect("write metrics JSON");
+        println!(
+            "wrote {} ({} trace events) and {}",
+            path,
+            tel.trace_len(),
+            metrics_path
+        );
     }
     println!("all cells safe: zero integrity/prefix/acyclic/lockstep violations");
 }

@@ -24,15 +24,15 @@ fn main() {
     }
 
     println!("\n## Table 2 — percentiles (ms)");
-    for (label, result) in &mut results {
+    for (label, result) in &results {
         print_latency_result(label, result);
     }
 
     println!("\n## Figure 5 — CDF series (latency_ms:fraction)");
     for rank in 1..=3usize {
         println!(" destination {rank}:");
-        for (label, result) in &mut results {
-            if let Some(summary) = result.latency_by_rank.get_mut(rank - 1) {
+        for (label, result) in &results {
+            if let Some(summary) = result.latency_by_rank.get(rank - 1) {
                 print_cdf(label, summary);
             }
         }

@@ -27,14 +27,14 @@ fn main() {
             results.push((*label, result));
         }
         println!(" Table 3 rows (ms):");
-        for (label, result) in &mut results {
+        for (label, result) in &results {
             print_latency_result(label, result);
         }
         println!(" Figure 7 CDF series:");
         for rank in 1..=3usize {
             println!("  destination {rank}:");
-            for (label, result) in &mut results {
-                if let Some(summary) = result.latency_by_rank.get_mut(rank - 1) {
+            for (label, result) in &results {
+                if let Some(summary) = result.latency_by_rank.get(rank - 1) {
                     print_cdf(label, summary);
                 }
             }

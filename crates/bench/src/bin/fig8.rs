@@ -10,6 +10,7 @@ use flexcast_gtpcc::WorkloadMode;
 use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
 use flexcast_overlay::{presets, Tree};
 use flexcast_sim::SimTime;
+use flexcast_telemetry::Telemetry;
 use flexcast_types::GroupId;
 
 fn bfs_order(tree: &Tree) -> Vec<GroupId> {
@@ -54,6 +55,7 @@ fn main() {
             server_service_ms: 0.05,
             server_processing_ms: 20.0,
             advert_stride: None,
+            telemetry: Telemetry::disabled(),
         };
         let result = run(&cfg);
         result.check.assert_ok();

@@ -8,6 +8,7 @@ use flexcast_gtpcc::WorkloadMode;
 use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
 use flexcast_overlay::presets;
 use flexcast_sim::SimTime;
+use flexcast_telemetry::Telemetry;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -49,6 +50,7 @@ fn main() {
                         server_service_ms: 0.05,
                         server_processing_ms: 20.0,
                         advert_stride: None,
+                        telemetry: Telemetry::disabled(),
                     };
                     let r = run(&cfg);
                     runs += 1;
@@ -85,6 +87,7 @@ fn main() {
                 server_service_ms: 0.05,
                 server_processing_ms: 20.0,
                 advert_stride: None,
+                telemetry: Telemetry::disabled(),
             };
             let r = run(&cfg);
             runs += 1;

@@ -20,7 +20,7 @@ pub fn cdf_points() -> Vec<f64> {
 }
 
 /// Prints a CDF series for one curve of a latency figure.
-pub fn print_cdf(label: &str, summary: &mut Summary) {
+pub fn print_cdf(label: &str, summary: &Summary) {
     if summary.is_empty() {
         println!("  {label:<24} (no samples)");
         return;
@@ -35,7 +35,7 @@ pub fn print_cdf(label: &str, summary: &mut Summary) {
 }
 
 /// Prints one `90p 95p 99p` row of a percentile table.
-pub fn print_percentiles(label: &str, summary: &mut Summary) {
+pub fn print_percentiles(label: &str, summary: &Summary) {
     match summary.p90_p95_p99() {
         Some((p90, p95, p99)) => {
             println!(
@@ -49,7 +49,7 @@ pub fn print_percentiles(label: &str, summary: &mut Summary) {
 
 /// Prints the per-destination sections (1st/2nd/3rd response) the latency
 /// figures and tables report.
-pub fn print_latency_result(label: &str, result: &mut ExperimentResult) {
+pub fn print_latency_result(label: &str, result: &ExperimentResult) {
     for rank in 1..=3 {
         let n = result
             .latency_by_rank
@@ -60,7 +60,7 @@ pub fn print_latency_result(label: &str, result: &mut ExperimentResult) {
             continue;
         }
         let full = format!("{label} dest{rank}");
-        print_percentiles(&full, &mut result.latency_by_rank[rank - 1]);
+        print_percentiles(&full, &result.latency_by_rank[rank - 1]);
     }
 }
 

@@ -25,6 +25,7 @@
 
 use crate::history::{History, HistoryDelta, MergeStats, MsgRef};
 use crate::packet::{NotifPair, Packet};
+use flexcast_telemetry::Telemetry;
 use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId, Watermarks};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -241,6 +242,43 @@ impl FlexCastGroup {
     /// True if `id` has been delivered at this group.
     pub fn has_delivered(&self, id: MsgId) -> bool {
         self.delivered.contains(&id)
+    }
+
+    /// Publishes this engine's counters into a telemetry registry under
+    /// `{prefix}.`: merge-path duplicate accounting, advertisement
+    /// suppression, deliveries, and backlog/history gauges. Absolute
+    /// sets, so re-exporting overwrites rather than double-counts; pass
+    /// a shared prefix (e.g. `"flex"`) to aggregate externally instead.
+    pub fn export_metrics(&self, tel: &Telemetry, prefix: &str) {
+        if !tel.is_enabled() {
+            return;
+        }
+        let m = self.merge_stats();
+        tel.counter_set(&format!("{prefix}.merge.verts_in"), m.verts_in);
+        tel.counter_set(&format!("{prefix}.merge.verts_dup"), m.verts_dup);
+        tel.counter_set(&format!("{prefix}.merge.edges_in"), m.edges_in);
+        tel.counter_set(&format!("{prefix}.merge.edges_dup"), m.edges_dup);
+        let s = self.suppression_stats();
+        tel.counter_set(&format!("{prefix}.sup.adverts_sent"), s.adverts_sent);
+        tel.counter_set(
+            &format!("{prefix}.sup.adverts_received"),
+            s.adverts_received,
+        );
+        tel.counter_set(
+            &format!("{prefix}.sup.suppressed_verts"),
+            s.suppressed_verts,
+        );
+        tel.counter_set(
+            &format!("{prefix}.sup.suppressed_edges"),
+            s.suppressed_edges,
+        );
+        tel.counter_set(&format!("{prefix}.delivered"), self.delivered_count);
+        tel.gauge_set(&format!("{prefix}.backlog"), self.backlog() as f64);
+        tel.gauge_set(&format!("{prefix}.history_verts"), self.hst.len() as f64);
+        tel.gauge_set(
+            &format!("{prefix}.history_edges"),
+            self.hst.edge_count() as f64,
+        );
     }
 
     /// Messages queued but not yet deliverable (diagnostics).

@@ -7,7 +7,15 @@ use flexcast_core::{FlexCastGroup, Output as FlexOutput};
 use flexcast_gtpcc::Generator;
 use flexcast_overlay::{CDagOrder, Tree};
 use flexcast_sim::{Actor, Ctx, SimTime};
+use flexcast_telemetry::SpanId;
 use flexcast_types::{ClientId, GroupId, Message, MsgId};
+
+/// The deterministic tracing span id of a transaction: packed from the
+/// issuing client and its per-client sequence number, so replays of the
+/// same workload produce identical ids.
+pub fn txn_span_id(id: MsgId) -> SpanId {
+    SpanId::from_parts(id.sender.0, id.seq)
+}
 
 /// Maps a client id to its simulator process id (clients sit after the
 /// `n_servers` server processes).
@@ -142,6 +150,9 @@ impl ServerActor {
             id,
             at: now,
         });
+        ctx.telemetry().counter_add("server.delivered", 1);
+        ctx.telemetry()
+            .instant("server", "deliver", self.node.0 as u32, now.as_nanos());
         // Milestone probe for reactive adversaries: the running delivery
         // count, published only when an observation driver is attached.
         ctx.observe(flexcast_sim::Observation::DeliveryCount {
@@ -186,8 +197,22 @@ impl ServerActor {
                     // modeling them as serial-service work would let one
                     // in-flight WAN advert head-of-line block a server.
                     if matches!(pkt, flexcast_core::Packet::Advert { .. }) {
+                        ctx.telemetry().counter_add("flex.adverts_forwarded", 1);
+                        ctx.telemetry().instant(
+                            "flex",
+                            "advert",
+                            self.node.0 as u32,
+                            now.as_nanos(),
+                        );
                         self.send_control_counted(node.index(), NetMsg::Flex(pkt), ctx);
                     } else {
+                        ctx.telemetry().counter_add("flex.forward_packets", 1);
+                        ctx.telemetry().instant(
+                            "flex",
+                            "forward",
+                            self.node.0 as u32,
+                            now.as_nanos(),
+                        );
                         self.send_counted(node.index(), NetMsg::Flex(pkt), ctx);
                     }
                 }
@@ -229,6 +254,12 @@ impl ServerActor {
         match msg {
             NetMsg::Client { msg: m, .. } => match &mut self.engine {
                 EngineKind::Flex { engine, order } => {
+                    ctx.telemetry().instant(
+                        "flex",
+                        "multicast",
+                        self.node.0 as u32,
+                        ctx.now().as_nanos(),
+                    );
                     // Translate the client's node-space destinations into
                     // the engine's rank space.
                     let ranked = Message::new(m.id, order.to_ranks(m.dst), m.payload)
@@ -250,14 +281,31 @@ impl ServerActor {
                 }
             },
             NetMsg::Flex(pkt) => {
+                let tel_on = ctx.telemetry().is_enabled();
                 let EngineKind::Flex { engine, order } = &mut self.engine else {
                     panic!("flex packet at a non-flex server");
                 };
                 let from_rank = order.rank_of(GroupId(from as u16));
+                // Merge-phase span: delta of history entries admitted by
+                // this packet, computed only when tracing is on.
+                let before = tel_on.then(|| engine.merge_stats().entries_in());
                 let mut outs = std::mem::take(&mut self.flex_outs);
                 engine.on_packet(from_rank, pkt, &mut outs);
+                let merged = before.map(|b| engine.merge_stats().entries_in() - b);
                 self.handle_flex_outputs(&mut outs, ctx);
                 self.flex_outs = outs;
+                if let Some(n) = merged {
+                    if n > 0 {
+                        ctx.telemetry().span_with_args(
+                            "flex",
+                            "merge",
+                            self.node.0 as u32,
+                            ctx.now().as_nanos(),
+                            0,
+                            &[("entries", n as f64)],
+                        );
+                    }
+                }
             }
             NetMsg::Skeen(pkt) => {
                 let EngineKind::Skeen(engine) = &mut self.engine else {
@@ -397,6 +445,13 @@ impl ClientActor {
             sent_at: ctx.now(),
             replies: 0,
         });
+        ctx.telemetry().async_begin(
+            "client",
+            "txn",
+            txn_span_id(id),
+            ctx.me() as u32,
+            ctx.now().as_nanos(),
+        );
         let targets: Vec<usize> = self.entry.entries(&m).iter().map(|n| n.index()).collect();
         ctx.send_many(
             targets,
@@ -428,6 +483,13 @@ impl ClientActor {
         if out.replies == out.dst_count {
             self.completed += 1;
             self.outstanding = None;
+            ctx.telemetry().async_end(
+                "client",
+                "txn",
+                txn_span_id(id),
+                ctx.me() as u32,
+                ctx.now().as_nanos(),
+            );
             if ctx.now() < self.stop_issuing_at {
                 self.issue(ctx);
             }

@@ -5,7 +5,8 @@ use crate::checker::{self, CheckReport, DeliveryEvent};
 use crate::netmsg::NetMsg;
 use flexcast_gtpcc::{Generator, WorkloadConfig, WorkloadMode};
 use flexcast_overlay::{regions, CDagOrder, LatencyMatrix, Tree};
-use flexcast_sim::{LinkModel, SimTime, Summary, World};
+use flexcast_sim::{LinkModel, Percentiles, SimTime, Summary, World};
+use flexcast_telemetry::{MetricsSnapshot, Telemetry};
 use flexcast_types::{ClientId, DestSet, GroupId, MsgId};
 use std::collections::BTreeMap;
 
@@ -67,6 +68,14 @@ pub struct ExperimentConfig {
     /// `None` disables the advertisement flow entirely (the plain
     /// protocol — what the golden traces pin). Ignored by the baselines.
     pub advert_stride: Option<u32>,
+    /// Telemetry handle shared with the world and its actors. Disabled by
+    /// default — recording through a disabled handle is a single-branch
+    /// no-op, and telemetry never perturbs the execution either way.
+    /// Install [`Telemetry::enabled`] to collect a metrics snapshot (on
+    /// [`ExperimentResult::metrics`]) and a chrome://tracing span log
+    /// (read back through this handle's `trace_json`). Cloning the config
+    /// shares the same underlying registry.
+    pub telemetry: Telemetry,
 }
 
 impl ExperimentConfig {
@@ -87,6 +96,7 @@ impl ExperimentConfig {
             // Paper-fidelity configurations run the plain protocol; scale
             // benches and correctness tests opt into delta suppression.
             advert_stride: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -107,6 +117,7 @@ impl ExperimentConfig {
             server_service_ms: 0.3,
             server_processing_ms: 20.0,
             advert_stride: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -151,13 +162,33 @@ pub struct ExperimentResult {
     /// Simulator throughput counters (total events, sends, peak queue
     /// depth); combine with a wall-clock measurement for events/s.
     pub stats: flexcast_sim::SimStats,
+    /// Completion latency samples: for each finished transaction, the
+    /// latency of its last destination's response (warm-up trimmed like
+    /// [`ExperimentResult::latency_by_rank`]).
+    pub completion: Summary,
+    /// Frozen metrics registry of the run. Empty unless the config
+    /// installed an enabled [`ExperimentConfig::telemetry`] handle.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ExperimentResult {
     /// The (p90, p95, p99) row for destination rank `k` (1-based), as the
-    /// paper's Tables 2 and 3 report. `None` if no samples.
-    pub fn percentile_row(&mut self, k: usize) -> Option<(f64, f64, f64)> {
-        self.latency_by_rank.get_mut(k - 1)?.p90_p95_p99()
+    /// paper's Tables 2 and 3 report. `None` if no samples. Reads are
+    /// `&self`: the per-rank summaries are sorted once at collect time.
+    pub fn percentile_row(&self, k: usize) -> Option<(f64, f64, f64)> {
+        self.latency_by_rank.get(k - 1)?.p90_p95_p99()
+    }
+
+    /// The full p50/p90/p95/p99/p999 latency set for destination rank `k`
+    /// (1-based). `None` if no samples.
+    pub fn rank_percentiles(&self, k: usize) -> Option<Percentiles> {
+        self.latency_by_rank.get(k - 1)?.percentiles()
+    }
+
+    /// Transaction completion latency percentiles (the sample of each
+    /// transaction's *last* destination response). `None` if no samples.
+    pub fn completion_percentiles(&self) -> Option<Percentiles> {
+        self.completion.percentiles()
     }
 }
 
@@ -256,6 +287,7 @@ pub fn run_world_on(cfg: &ExperimentConfig, matrix: &LatencyMatrix) -> World<Net
         link.set_processing_ms(pid, cfg.server_processing_ms);
     }
     let mut world: World<NetMsg, Node> = World::new(actors, link, cfg.seed);
+    world.set_telemetry(cfg.telemetry.clone());
     // A closed loop of N clients issues a bounded number of events per
     // transaction; the guard only trips on livelock bugs.
     let max_events = 2_000_000_000;
@@ -312,13 +344,59 @@ fn collect(
     let hi = SimTime::from_ms(cfg.duration.as_ms() * 0.90);
     let max_rank = samples.iter().map(|s| s.rank).max().unwrap_or(0);
     let mut latency_by_rank = vec![Summary::new(); max_rank.max(3)];
+    let mut completion = Summary::new();
     for s in &samples {
         if s.sent_at >= lo && s.sent_at <= hi {
             latency_by_rank[s.rank - 1].record(s.latency_ms);
+            if s.rank == s.dst_count {
+                completion.record(s.latency_ms);
+            }
         }
     }
+    // Sort once here so result reads (`percentile_row` and friends) are
+    // immutable and allocation-free.
+    for s in &mut latency_by_rank {
+        s.sort();
+    }
+    completion.sort();
 
     let check = checker::check(&registry, &trace);
+
+    // Publish run-level metrics and freeze the snapshot. All exports are
+    // absolute sets or fresh histograms, computed once per run.
+    let tel = &cfg.telemetry;
+    if tel.is_enabled() {
+        stats.export_metrics(tel);
+        for (i, s) in latency_by_rank.iter().enumerate() {
+            s.export_histogram_ms(tel, &format!("latency.rank{}_ns", i + 1));
+        }
+        completion.export_histogram_ms(tel, "latency.complete_ns");
+        let (mut merge_in, mut merge_dup) = (0u64, 0u64);
+        let (mut adverts, mut suppressed) = (0u64, 0u64);
+        let mut received = 0u64;
+        let mut delivered = 0u64;
+        for pid in 0..world.len() {
+            if let Node::Server(s) = world.actor(pid) {
+                received += s.stats.received_msgs;
+                delivered += s.stats.delivered;
+                if let Some(engine) = s.flex_engine() {
+                    let m = engine.merge_stats();
+                    merge_in += m.entries_in();
+                    merge_dup += m.entries_dup();
+                    let sup = engine.suppression_stats();
+                    adverts += sup.adverts_sent;
+                    suppressed += sup.suppressed_entries();
+                }
+            }
+        }
+        tel.counter_set("net.server_received_msgs", received);
+        tel.counter_set("net.server_delivered", delivered);
+        tel.counter_set("flex.merge.entries_in", merge_in);
+        tel.counter_set("flex.merge.entries_dup", merge_dup);
+        tel.counter_set("flex.sup.adverts_sent", adverts);
+        tel.counter_set("flex.sup.suppressed_entries", suppressed);
+    }
+    let metrics = tel.snapshot();
 
     ExperimentResult {
         latency_by_rank,
@@ -329,6 +407,8 @@ fn collect(
         trace,
         registry,
         stats,
+        completion,
+        metrics,
     }
 }
 
@@ -350,12 +430,13 @@ mod tests {
             server_service_ms: 0.05,
             server_processing_ms: 20.0,
             advert_stride: Some(16),
+            telemetry: Telemetry::disabled(),
         }
     }
 
     #[test]
     fn flexcast_o1_runs_clean() {
-        let mut r = run(&small(ProtocolKind::FlexCast(presets::o1())));
+        let r = run(&small(ProtocolKind::FlexCast(presets::o1())));
         r.check.assert_ok();
         assert!(
             r.completed > 20,
@@ -375,7 +456,7 @@ mod tests {
 
     #[test]
     fn skeen_runs_clean() {
-        let mut r = run(&small(ProtocolKind::Distributed));
+        let r = run(&small(ProtocolKind::Distributed));
         r.check.assert_ok();
         assert!(r.completed > 20);
         assert!(r.percentile_row(1).is_some());
@@ -430,5 +511,36 @@ mod tests {
         let b = run(&cfg);
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.stats.events, b.stats.events);
+    }
+
+    #[test]
+    fn enabled_telemetry_populates_metrics_and_trace() {
+        let mut cfg = small(ProtocolKind::FlexCast(presets::o1()));
+        cfg.telemetry = Telemetry::enabled();
+        let r = run(&cfg);
+        r.check.assert_ok();
+        assert!(r.metrics.histograms.contains_key("latency.complete_ns"));
+        assert!(r.metrics.histograms.contains_key("latency.rank1_ns"));
+        assert!(*r.metrics.counters.get("sim.events").unwrap() > 0);
+        assert!(*r.metrics.counters.get("server.delivered").unwrap() > 0);
+        assert!(cfg.telemetry.trace_len() > 0, "spans were recorded");
+        let p = r.completion_percentiles().expect("completion samples");
+        assert!(p.p50 <= p.p99 && p.p99 <= p.p999);
+        // The snapshot's p50 (ns, bucketed) should be within the bucket
+        // quantization (12.5 %) of the exact sample percentile (ms).
+        let h = &r.metrics.histograms["latency.complete_ns"];
+        let exact_ns = p.p50 * 1e6;
+        assert!(
+            (h.p50 as f64 - exact_ns).abs() <= exact_ns * 0.125 + 1.0,
+            "histogram p50 {} vs exact {}",
+            h.p50,
+            exact_ns
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_yields_empty_metrics() {
+        let r = run(&small(ProtocolKind::FlexCast(presets::o1())));
+        assert!(r.metrics.is_empty());
     }
 }

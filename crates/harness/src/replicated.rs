@@ -51,6 +51,7 @@ use flexcast_core::{FlexCastGroup, Output, Packet};
 use flexcast_overlay::{CDagOrder, LatencyMatrix};
 use flexcast_sim::{Actor, Ctx, LinkModel, Observation, ProcessId, SimTime, Summary, World};
 use flexcast_smr::{GroupEffect, ReplicatedGroup};
+use flexcast_telemetry::{MetricsSnapshot, Telemetry};
 use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -283,10 +284,19 @@ pub struct ReplicatedActor {
     /// Leader-side delivery emissions with simulated times (diagnostics;
     /// the authoritative per-group order is the replicated delivery log).
     pub delivery_events: Vec<DeliveryEvent>,
+    /// When this replica last started an election it has not yet won
+    /// (tracing: closes the `election` span at the leadership flip).
+    election_started: Option<SimTime>,
+    /// Client commands first seen here and not yet committed, keyed by
+    /// `(sender, seq)` — populated only when telemetry is enabled, feeds
+    /// the `smr.commit_ns` histogram and `commit` spans.
+    pending_since: BTreeMap<(u32, u32), SimTime>,
 }
 
 impl ReplicatedActor {
-    /// Creates replica `replica` of the group at `node`.
+    /// Creates replica `replica` of the group at `node`. The `telemetry`
+    /// handle (usually a clone of the config's) counts committed commands
+    /// live; pass [`Telemetry::disabled`] for an uninstrumented replica.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         node: GroupId,
@@ -297,19 +307,22 @@ impl ReplicatedActor {
         stop_at: SimTime,
         retransmit_every: u64,
         advert_stride: Option<u32>,
+        telemetry: Telemetry,
     ) -> Self {
         let n_groups = order.len();
+        let mut rg = ReplicatedGroup::new(
+            replica,
+            rf,
+            ReplEngine::new(node, order, advert_stride),
+            apply_cmd,
+        );
+        rg.set_telemetry(telemetry);
         ReplicatedActor {
             node,
             replica,
             rf,
             n_groups,
-            rg: ReplicatedGroup::new(
-                replica,
-                rf,
-                ReplEngine::new(node, order, advert_stride),
-                apply_cmd,
-            ),
+            rg,
             inbox: Vec::new(),
             was_leader: false,
             tick,
@@ -319,7 +332,21 @@ impl ReplicatedActor {
             last_leader_seen: SimTime::ZERO,
             retransmit_cursor: 0,
             delivery_events: Vec::new(),
+            election_started: None,
+            pending_since: BTreeMap::new(),
         }
+    }
+
+    /// Publishes this replica's replication and engine counters under the
+    /// `g{group}.r{replica}.` prefix (slots applied, elections, merge and
+    /// suppression stats, ...).
+    pub fn export_metrics(&self, tel: &Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        let prefix = format!("g{}.r{}", self.node.0, self.replica);
+        self.rg.export_metrics(tel, &prefix);
+        self.rg.engine().engine().export_metrics(tel, &prefix);
     }
 
     /// The replicated state machine (for collection and diagnostics).
@@ -362,6 +389,25 @@ impl ReplicatedActor {
                         id: m.id,
                         at: ctx.now(),
                     });
+                    // Commit span: from first intake of the command at
+                    // this replica to its leader-side emission.
+                    if let Some(t0) = self.pending_since.remove(&(m.id.sender.0, m.id.seq)) {
+                        let dur = ctx.now().since(t0);
+                        ctx.telemetry().span(
+                            "smr",
+                            "commit",
+                            self.node.0 as u32,
+                            t0.as_nanos(),
+                            dur.as_nanos(),
+                        );
+                        ctx.telemetry().record("smr.commit_ns", dur.as_nanos());
+                    }
+                    ctx.telemetry().instant(
+                        "smr",
+                        "deliver",
+                        self.node.0 as u32,
+                        ctx.now().as_nanos(),
+                    );
                     ctx.send(
                         client_pid(self.n_groups, self.rf, m.id.sender),
                         NetMsg::Reply { id: m.id },
@@ -385,6 +431,20 @@ impl ReplicatedActor {
     fn check_transition(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
         if self.rg.is_leader() && !self.was_leader {
             self.was_leader = true;
+            // Close the election span opened when this replica last stood
+            // for election (if it won without standing — e.g. a restart
+            // re-claim — there is nothing to close).
+            if let Some(t0) = self.election_started.take() {
+                let dur = ctx.now().since(t0);
+                ctx.telemetry().span(
+                    "smr",
+                    "election",
+                    self.node.0 as u32,
+                    t0.as_nanos(),
+                    dur.as_nanos(),
+                );
+                ctx.telemetry().record("smr.election_ns", dur.as_nanos());
+            }
             ctx.observe(Observation::LeaderElected {
                 group: self.node,
                 replica: self.replica,
@@ -425,6 +485,13 @@ impl ReplicatedActor {
     fn intake(&mut self, cmd: ReplCmd, ctx: &mut Ctx<'_, NetMsg>) {
         if self.is_applied(&cmd) || self.inbox.contains(&cmd) {
             return;
+        }
+        if ctx.telemetry().is_enabled() {
+            if let ReplCmd::Client(m) = &cmd {
+                self.pending_since
+                    .entry((m.id.sender.0, m.id.seq))
+                    .or_insert_with(|| ctx.now());
+            }
         }
         self.inbox.push(cmd.clone());
         if self.rg.is_leader() {
@@ -482,9 +549,21 @@ impl ReplicatedActor {
         } else {
             // Followers: request gap-fills, and elect on a silent leader.
             self.rg.tick_repair(&mut fx);
+            let repairs = fx.len();
             self.emit(fx, ctx);
+            if repairs > 0 {
+                ctx.telemetry().span_with_args(
+                    "smr",
+                    "repair",
+                    self.node.0 as u32,
+                    ctx.now().as_nanos(),
+                    0,
+                    &[("msgs", repairs as f64)],
+                );
+            }
             if ctx.now().since(self.last_leader_seen) > self.suspicion_threshold() {
                 self.last_leader_seen = ctx.now();
+                self.election_started.get_or_insert(ctx.now());
                 let mut fx = Vec::new();
                 self.rg.start_election(&mut fx);
                 self.emit(fx, ctx);
@@ -516,6 +595,7 @@ impl Actor<NetMsg> for ReplicatedActor {
         // On recovery (the simulator re-runs on_start after a crash heals)
         // this block is skipped and the suspicion logic takes over.
         if ctx.now() == SimTime::ZERO && self.replica == 0 {
+            self.election_started = Some(ctx.now());
             let mut fx = Vec::new();
             self.rg.start_election(&mut fx);
             self.emit(fx, ctx);
@@ -704,6 +784,13 @@ impl ReplClientActor {
             sent_at: ctx.now(),
             first_ack_ms: None,
         });
+        ctx.telemetry().async_begin(
+            "client",
+            "txn",
+            crate::actors::txn_span_id(id),
+            ctx.me() as u32,
+            ctx.now().as_nanos(),
+        );
         // First attempt: the entry group only. Retries fan out wider.
         self.send_to_groups(&m, &[self.entry_of(&m)], ctx);
         // The retry timer carries the transaction's sequence number, so
@@ -743,6 +830,13 @@ impl Actor<NetMsg> for ReplClientActor {
                 .push(out.first_ack_ms.expect("set on first ack"));
             self.completed += 1;
             self.outstanding = None;
+            ctx.telemetry().async_end(
+                "client",
+                "txn",
+                crate::actors::txn_span_id(id),
+                ctx.me() as u32,
+                ctx.now().as_nanos(),
+            );
             if self.seq < self.n_msgs && ctx.now() < self.stop_at {
                 self.issue(ctx);
             }
@@ -961,6 +1055,9 @@ pub struct ReplicatedConfig {
     /// Number of flushes the flusher issues (ignored without
     /// [`ReplicatedConfig::flush_period`]).
     pub n_flushes: u32,
+    /// Telemetry handle, disabled by default. Clones share one registry
+    /// and tracer; [`collect`] snapshots it into the result.
+    pub telemetry: Telemetry,
 }
 
 impl ReplicatedConfig {
@@ -984,6 +1081,7 @@ impl ReplicatedConfig {
             advert_stride: None,
             flush_period: None,
             n_flushes: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -1011,6 +1109,8 @@ pub struct ReplicatedResult {
     pub events: u64,
     /// Messages lost to faults, partitions, and crashes.
     pub dropped: u64,
+    /// Metrics snapshot (empty unless the config enabled telemetry).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Builds the world for a replicated experiment on `matrix` (one site per
@@ -1047,6 +1147,7 @@ pub fn build_world(cfg: &ReplicatedConfig, matrix: &LatencyMatrix) -> World<NetM
                 cfg.stop_at,
                 cfg.retransmit_every,
                 cfg.advert_stride,
+                cfg.telemetry.clone(),
             )));
             sites.push(GroupId(g));
         }
@@ -1080,7 +1181,9 @@ pub fn build_world(cfg: &ReplicatedConfig, matrix: &LatencyMatrix) -> World<NetM
     }
 
     let link = LinkModel::new(matrix.clone(), sites, cfg.jitter_ms);
-    World::new(actors, link, cfg.seed)
+    let mut world = World::new(actors, link, cfg.seed);
+    world.set_telemetry(cfg.telemetry.clone());
+    world
 }
 
 /// Collects results from a quiesced replicated world: the multicast
@@ -1142,6 +1245,23 @@ pub fn collect(cfg: &ReplicatedConfig, world: &World<NetMsg, ReplNode>) -> Repli
     let mut check = checker::check(&registry, &trace);
     check.lockstep_violations = checker::check_lockstep(&replica_logs);
 
+    latency.sort();
+    first_ack.sort();
+
+    let tel = &cfg.telemetry;
+    if tel.is_enabled() {
+        latency.export_histogram_ms(tel, "latency.complete_ns");
+        first_ack.export_histogram_ms(tel, "latency.first_ack_ns");
+        tel.counter_set("sim.events", world.processed_events());
+        tel.counter_set("sim.dropped_messages", world.dropped_messages());
+        for pid in 0..world.len() {
+            if let ReplNode::Replica(r) = world.actor(pid) {
+                r.export_metrics(tel);
+            }
+        }
+    }
+    let metrics = tel.snapshot();
+
     ReplicatedResult {
         check,
         completed,
@@ -1157,6 +1277,7 @@ pub fn collect(cfg: &ReplicatedConfig, world: &World<NetMsg, ReplNode>) -> Repli
         replica_logs,
         events: world.processed_events(),
         dropped: world.dropped_messages(),
+        metrics,
     }
 }
 

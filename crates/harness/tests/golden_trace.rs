@@ -14,6 +14,7 @@ use flexcast_harness::replicated::{build_world, collect, replica_pid, Replicated
 use flexcast_harness::{run, CheckReport, ExperimentConfig, ProtocolKind};
 use flexcast_overlay::{presets, LatencyMatrix};
 use flexcast_sim::{LinkFault, SimTime};
+use flexcast_telemetry::Telemetry;
 use flexcast_types::GroupId;
 
 /// FNV-1a over a stream of u64 words: tiny, dependency-free, and stable.
@@ -51,11 +52,8 @@ fn trace_digest(trace: &[Vec<flexcast_harness::DeliveryEvent>], check: &CheckRep
     d.0
 }
 
-/// Fault-free reference run: FlexCast O1 on the 12-region AWS matrix with
-/// jitter and GC flushes — the configuration every figure bin builds on.
-#[test]
-fn golden_trace_fault_free() {
-    let cfg = ExperimentConfig {
+fn golden_config() -> ExperimentConfig {
+    ExperimentConfig {
         protocol: ProtocolKind::FlexCast(presets::o1()),
         locality: 0.9,
         mode: flexcast_gtpcc::WorkloadMode::GlobalOnly,
@@ -68,8 +66,18 @@ fn golden_trace_fault_free() {
         server_processing_ms: 20.0,
         // The goldens pin the pre-suppression protocol: no advert flow.
         advert_stride: None,
-    };
-    let r = run(&cfg);
+        telemetry: Telemetry::disabled(),
+    }
+}
+
+/// Fault-free reference run: FlexCast O1 on the 12-region AWS matrix with
+/// jitter and GC flushes — the configuration every figure bin builds on.
+/// With telemetry disabled (the default) this doubles as the overhead
+/// guard: the instrumented code paths must replay the pre-telemetry
+/// recording byte-identically.
+#[test]
+fn golden_trace_fault_free() {
+    let r = run(&golden_config());
     r.check.assert_ok();
     assert_eq!(
         (
@@ -80,6 +88,30 @@ fn golden_trace_fault_free() {
         GOLDEN_FAULT_FREE,
         "fault-free trace diverged from the pre-refactor recording"
     );
+    assert!(r.metrics.is_empty(), "disabled telemetry left residue");
+}
+
+/// Telemetry is purely observational: the same golden run with tracing
+/// and metrics fully enabled must produce the identical event count,
+/// completion count, and delivered-trace digest — only the snapshot and
+/// span buffer differ from the disabled run.
+#[test]
+fn golden_trace_unperturbed_by_telemetry() {
+    let mut cfg = golden_config();
+    cfg.telemetry = Telemetry::enabled();
+    let r = run(&cfg);
+    r.check.assert_ok();
+    assert_eq!(
+        (
+            r.stats.events,
+            r.completed,
+            trace_digest(&r.trace, &r.check)
+        ),
+        GOLDEN_FAULT_FREE,
+        "enabling telemetry perturbed the simulation"
+    );
+    assert!(!r.metrics.is_empty(), "enabled telemetry recorded metrics");
+    assert!(cfg.telemetry.trace_len() > 0, "spans were recorded");
 }
 
 /// LinkFault reference run: replicated groups under drop/dup/reorder and a

@@ -28,6 +28,6 @@ pub use fault::LinkFault;
 pub use link::LinkModel;
 pub use linkstate::LinkState;
 pub use obs::Observation;
-pub use stats::{SimStats, Summary};
+pub use stats::{Percentiles, SimStats, Summary};
 pub use time::SimTime;
 pub use world::{Actor, Ctx, ProcessId, World};

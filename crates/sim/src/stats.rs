@@ -5,6 +5,10 @@
 //! latency samples. [`SimStats`] is the simulator's own throughput
 //! counter block, reported by the sweep binaries.
 
+use std::borrow::Cow;
+
+use flexcast_telemetry::Telemetry;
+
 use crate::SimTime;
 
 /// Throughput counters of one simulation run, snapshotted from
@@ -42,14 +46,46 @@ impl SimStats {
             0.0
         }
     }
+
+    /// Publishes the counter block into a telemetry registry under the
+    /// `sim.` prefix. Uses absolute sets, so re-exporting after further
+    /// progress overwrites rather than double-counts.
+    pub fn export_metrics(&self, tel: &Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.counter_set("sim.events", self.events);
+        tel.counter_set("sim.sent_messages", self.sent_messages);
+        tel.counter_set("sim.dropped_messages", self.dropped_messages);
+        tel.counter_set("sim.peak_queue_depth", self.peak_queue_depth as u64);
+        tel.gauge_set("sim.time_ms", self.sim_time.as_ms());
+    }
+}
+
+/// The full percentile set reported by the sweeps, from one sort pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
 }
 
 /// A collection of `f64` samples with percentile and CDF queries.
 ///
-/// Samples are kept raw and sorted lazily on first query, so insertion is
-/// O(1) and exact percentiles (not sketch approximations) are reported —
-/// feasible because a simulated experiment produces at most a few hundred
-/// thousand samples.
+/// Samples are kept raw, so insertion is O(1) and exact percentiles (not
+/// sketch approximations) are reported — feasible because a simulated
+/// experiment produces at most a few hundred thousand samples. Queries
+/// take `&self`: a summary that has been [`Summary::sort`]ed (the harness
+/// does this once at collect time) answers from the sorted samples
+/// directly, while an unsorted one falls back to sorting a clone — always
+/// correct, just not worth repeating in a hot loop.
 #[derive(Clone, Debug, Default)]
 pub struct Summary {
     samples: Vec<f64>,
@@ -79,7 +115,10 @@ impl Summary {
         self.samples.is_empty()
     }
 
-    fn ensure_sorted(&mut self) {
+    /// Sorts the samples in place so subsequent reads are allocation-free.
+    /// Reads on an unsorted summary still work (they sort a clone), so
+    /// this is an optimization hook, not a correctness requirement.
+    pub fn sort(&mut self) {
         if !self.sorted {
             self.samples
                 .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
@@ -87,18 +126,37 @@ impl Summary {
         }
     }
 
+    /// The samples in ascending order: borrowed when already sorted,
+    /// otherwise a sorted clone.
+    fn sorted_samples(&self) -> Cow<'_, [f64]> {
+        if self.sorted {
+            Cow::Borrowed(&self.samples[..])
+        } else {
+            let mut v = self.samples.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            Cow::Owned(v)
+        }
+    }
+
+    fn percentile_of(sorted: &[f64], p: f64) -> f64 {
+        debug_assert!(!sorted.is_empty());
+        let n = sorted.len();
+        // The epsilon absorbs float noise in p/100*n (e.g. 99.9% of 1000
+        // evaluating to 999.0000000000001 and ceiling one rank too high);
+        // it is far below the 1/n rank granularity of any real sample set.
+        let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(n - 1)]
+    }
+
     /// Exact percentile by the nearest-rank method. `p` in `[0, 100]`.
     ///
     /// Returns `None` on an empty summary.
-    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+    pub fn percentile(&self, p: f64) -> Option<f64> {
         if self.samples.is_empty() {
             return None;
         }
         assert!((0.0..=100.0).contains(&p), "percentile out of range");
-        self.ensure_sorted();
-        let n = self.samples.len();
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        Some(self.samples[rank.saturating_sub(1).min(n - 1)])
+        Some(Self::percentile_of(&self.sorted_samples(), p))
     }
 
     /// Arithmetic mean.
@@ -119,38 +177,66 @@ impl Summary {
     }
 
     /// Minimum sample.
-    pub fn min(&mut self) -> Option<f64> {
-        self.ensure_sorted();
-        self.samples.first().copied()
+    pub fn min(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite samples"))
     }
 
     /// Maximum sample.
-    pub fn max(&mut self) -> Option<f64> {
-        self.ensure_sorted();
-        self.samples.last().copied()
+    pub fn max(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .copied()
+            .max_by(|a, b| a.partial_cmp(b).expect("finite samples"))
     }
 
     /// Empirical CDF evaluated at `points`: for each `x`, the fraction of
     /// samples `<= x`. Used to regenerate the paper's CDF figures.
-    pub fn cdf_at(&mut self, points: &[f64]) -> Vec<(f64, f64)> {
-        self.ensure_sorted();
-        let n = self.samples.len();
+    pub fn cdf_at(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        let sorted = self.sorted_samples();
+        let n = sorted.len();
         points
             .iter()
             .map(|&x| {
-                let count = self.samples.partition_point(|&s| s <= x);
+                let count = sorted.partition_point(|&s| s <= x);
                 (x, if n == 0 { 0.0 } else { count as f64 / n as f64 })
             })
             .collect()
     }
 
     /// The standard percentile triple reported in the paper's tables.
-    pub fn p90_p95_p99(&mut self) -> Option<(f64, f64, f64)> {
-        Some((
-            self.percentile(90.0)?,
-            self.percentile(95.0)?,
-            self.percentile(99.0)?,
-        ))
+    pub fn p90_p95_p99(&self) -> Option<(f64, f64, f64)> {
+        let p = self.percentiles()?;
+        Some((p.p90, p.p95, p.p99))
+    }
+
+    /// The full p50/p90/p95/p99/p999 set from one pass over the sorted
+    /// samples. This is what the sweep binaries report.
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sorted = self.sorted_samples();
+        Some(Percentiles {
+            p50: Self::percentile_of(&sorted, 50.0),
+            p90: Self::percentile_of(&sorted, 90.0),
+            p95: Self::percentile_of(&sorted, 95.0),
+            p99: Self::percentile_of(&sorted, 99.0),
+            p999: Self::percentile_of(&sorted, 99.9),
+        })
+    }
+
+    /// Records the samples into a telemetry histogram, converting
+    /// milliseconds to nanoseconds (histograms are integer-valued).
+    pub fn export_histogram_ms(&self, tel: &Telemetry, name: &str) {
+        if !tel.is_enabled() {
+            return;
+        }
+        for &ms in &self.samples {
+            tel.record(name, (ms * 1e6).round().max(0.0) as u64);
+        }
     }
 
     /// Immutable view of the raw samples.
@@ -187,18 +273,19 @@ mod tests {
 
     #[test]
     fn empty_summary_returns_none() {
-        let mut s = Summary::new();
+        let s = Summary::new();
         assert!(s.is_empty());
         assert_eq!(s.percentile(50.0), None);
         assert_eq!(s.mean(), None);
         assert_eq!(s.stddev(), None);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
+        assert_eq!(s.percentiles(), None);
     }
 
     #[test]
     fn nearest_rank_percentiles() {
-        let mut s = summary(&(1..=100).map(|v| v as f64).collect::<Vec<_>>());
+        let s = summary(&(1..=100).map(|v| v as f64).collect::<Vec<_>>());
         assert_eq!(s.percentile(90.0), Some(90.0));
         assert_eq!(s.percentile(99.0), Some(99.0));
         assert_eq!(s.percentile(100.0), Some(100.0));
@@ -208,7 +295,7 @@ mod tests {
 
     #[test]
     fn percentile_single_sample() {
-        let mut s = summary(&[7.0]);
+        let s = summary(&[7.0]);
         assert_eq!(s.percentile(1.0), Some(7.0));
         assert_eq!(s.percentile(99.0), Some(7.0));
     }
@@ -222,14 +309,14 @@ mod tests {
 
     #[test]
     fn min_max_after_unsorted_inserts() {
-        let mut s = summary(&[5.0, 1.0, 9.0, 3.0]);
+        let s = summary(&[5.0, 1.0, 9.0, 3.0]);
         assert_eq!(s.min(), Some(1.0));
         assert_eq!(s.max(), Some(9.0));
     }
 
     #[test]
     fn cdf_fractions() {
-        let mut s = summary(&[1.0, 2.0, 3.0, 4.0]);
+        let s = summary(&[1.0, 2.0, 3.0, 4.0]);
         let cdf = s.cdf_at(&[0.5, 1.0, 2.5, 4.0, 10.0]);
         assert_eq!(
             cdf,
@@ -239,7 +326,7 @@ mod tests {
 
     #[test]
     fn triple_helper() {
-        let mut s = summary(&(1..=100).map(|v| v as f64).collect::<Vec<_>>());
+        let s = summary(&(1..=100).map(|v| v as f64).collect::<Vec<_>>());
         assert_eq!(s.p90_p95_p99(), Some((90.0, 95.0, 99.0)));
     }
 
@@ -250,5 +337,58 @@ mod tests {
         s.record(10.0);
         assert_eq!(s.max(), Some(10.0));
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn full_percentile_set() {
+        let s = summary(&(1..=1000).map(|v| v as f64).collect::<Vec<_>>());
+        let p = s.percentiles().unwrap();
+        assert_eq!(p.p50, 500.0);
+        assert_eq!(p.p90, 900.0);
+        assert_eq!(p.p95, 950.0);
+        assert_eq!(p.p99, 990.0);
+        assert_eq!(p.p999, 999.0);
+    }
+
+    #[test]
+    fn reads_are_immutable_and_sort_is_an_optimization() {
+        let mut s = summary(&[9.0, 2.0, 5.0]);
+        // Reads on the unsorted summary don't mutate it...
+        let shared = &s;
+        assert_eq!(shared.percentile(50.0), Some(5.0));
+        assert_eq!(shared.samples(), &[9.0, 2.0, 5.0], "insert order kept");
+        // ...and after an explicit sort they answer from the sorted vec.
+        s.sort();
+        assert_eq!(s.samples(), &[2.0, 5.0, 9.0]);
+        assert_eq!(s.percentile(50.0), Some(5.0));
+    }
+
+    #[test]
+    fn export_histogram_converts_ms_to_ns() {
+        let tel = flexcast_telemetry::Telemetry::enabled();
+        let s = summary(&[1.5, 2.0]);
+        s.export_histogram_ms(&tel, "lat_ns");
+        let snap = tel.snapshot();
+        let h = &snap.histograms["lat_ns"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 1_500_000);
+        assert_eq!(h.max, 2_000_000);
+    }
+
+    #[test]
+    fn simstats_export() {
+        let tel = flexcast_telemetry::Telemetry::enabled();
+        let s = SimStats {
+            events: 10,
+            sent_messages: 5,
+            dropped_messages: 1,
+            peak_queue_depth: 3,
+            sim_time: SimTime::from_secs(1),
+        };
+        s.export_metrics(&tel);
+        s.export_metrics(&tel);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["sim.events"], 10, "set, not double-added");
+        assert_eq!(snap.gauges["sim.time_ms"], 1_000.0);
     }
 }

@@ -4,6 +4,7 @@ use crate::linkstate::LinkState;
 use crate::obs::Observation;
 use crate::stats::SimStats;
 use crate::{LinkFault, LinkModel, SimTime};
+use flexcast_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -50,6 +51,7 @@ pub struct Ctx<'a, M> {
     timers: &'a mut Vec<(SimTime, u64)>,
     observations: &'a mut Vec<Observation>,
     probes: bool,
+    telemetry: &'a Telemetry,
 }
 
 impl<M> Ctx<'_, M> {
@@ -109,6 +111,14 @@ impl<M> Ctx<'_, M> {
         if self.probes {
             self.observations.push(obs);
         }
+    }
+
+    /// The world's telemetry handle (see [`World::set_telemetry`]).
+    /// Disabled by default, in which case every recording call on it is
+    /// a single-branch no-op — actors can instrument unconditionally, or
+    /// check [`Telemetry::is_enabled`] to skip argument construction.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry
     }
 }
 
@@ -210,6 +220,9 @@ pub struct World<M, A: Actor<M>> {
     observations: Vec<Observation>,
     /// Observation publishing gate (see [`World::enable_probes`]).
     probes: bool,
+    /// Telemetry handle exposed to actors via [`Ctx::telemetry`].
+    /// Disabled by default (see [`World::set_telemetry`]).
+    telemetry: Telemetry,
 }
 
 impl<M: Clone, A: Actor<M>> World<M, A> {
@@ -243,6 +256,7 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
             scratch_fates: Vec::with_capacity(8),
             observations: Vec::new(),
             probes: false,
+            telemetry: Telemetry::disabled(),
         };
         for pid in 0..n {
             w.push(SimTime::ZERO, Event::Start { pid });
@@ -316,6 +330,21 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
     /// order (which follows the deterministic event order).
     pub fn drain_observations(&mut self, into: &mut Vec<Observation>) {
         into.append(&mut self.observations);
+    }
+
+    /// Installs a telemetry handle, shared with the driver via clone.
+    /// Like the observation plane, telemetry is disabled by default and
+    /// recording through a disabled handle is a single-branch no-op, so
+    /// undriven runs pay nothing. Telemetry draws no randomness and
+    /// schedules no events, so it never perturbs the execution.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry handle (disabled unless
+    /// [`World::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The scheduled time of the earliest queued event, if any. Drivers
@@ -609,6 +638,7 @@ impl<M: Clone, A: Actor<M>> World<M, A> {
                 timers: &mut timers,
                 observations: &mut self.observations,
                 probes: self.probes,
+                telemetry: &self.telemetry,
             };
             f(&mut self.actors[pid], &mut ctx);
         }

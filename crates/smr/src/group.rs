@@ -17,6 +17,7 @@
 //!    idempotent for duplicate acks and re-merged histories).
 
 use crate::paxos::{PaxosMsg, Replica, SmrOutput};
+use flexcast_telemetry::Telemetry;
 
 /// One replica of a replicated group, generic over the engine.
 ///
@@ -29,6 +30,9 @@ pub struct ReplicatedGroup<E, I> {
     engine: E,
     apply: fn(&mut E, I, &mut Vec<GroupEffect<I>>),
     emitted_up_to: u64,
+    proposals: u64,
+    elections: u64,
+    telemetry: Telemetry,
 }
 
 /// Outputs of a replicated group replica.
@@ -56,7 +60,37 @@ impl<E, I: Clone + PartialEq> ReplicatedGroup<E, I> {
             engine,
             apply,
             emitted_up_to: 0,
+            proposals: 0,
+            elections: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle (disabled by default). Commands applied
+    /// and slots committed are counted live; [`ReplicatedGroup::export_metrics`]
+    /// publishes the totals.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Highest slot whose command this replica has applied.
+    pub fn applied_slots(&self) -> u64 {
+        self.emitted_up_to
+    }
+
+    /// Publishes this replica's replication counters under `{prefix}.`:
+    /// proposals submitted, elections started, and slots applied.
+    pub fn export_metrics(&self, tel: &Telemetry, prefix: &str) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.counter_set(&format!("{prefix}.proposals"), self.proposals);
+        tel.counter_set(&format!("{prefix}.elections"), self.elections);
+        tel.counter_set(&format!("{prefix}.applied_slots"), self.emitted_up_to);
+        tel.gauge_set(
+            &format!("{prefix}.is_leader"),
+            if self.replica.is_leader() { 1.0 } else { 0.0 },
+        );
     }
 
     /// Access to the underlying engine (inspection/tests).
@@ -76,6 +110,7 @@ impl<E, I: Clone + PartialEq> ReplicatedGroup<E, I> {
 
     /// Starts a leader election (drive from an election timeout).
     pub fn start_election(&mut self, out: &mut Vec<GroupEffect<I>>) {
+        self.elections += 1;
         let mut paxos_out = Vec::new();
         self.replica.start_election(&mut paxos_out);
         self.drain(paxos_out, out);
@@ -83,6 +118,7 @@ impl<E, I: Clone + PartialEq> ReplicatedGroup<E, I> {
 
     /// Proposes an input to the group (leader path; followers buffer).
     pub fn submit(&mut self, input: I, out: &mut Vec<GroupEffect<I>>) {
+        self.proposals += 1;
         let mut paxos_out = Vec::new();
         self.replica.propose(input, &mut paxos_out);
         self.drain(paxos_out, out);
@@ -117,6 +153,7 @@ impl<E, I: Clone + PartialEq> ReplicatedGroup<E, I> {
         let leader = self.replica.is_leader();
         for cmd in self.replica.take_committed() {
             self.emitted_up_to += 1;
+            self.telemetry.counter_add("smr.commands_applied", 1);
             let mut effects = Vec::new();
             (self.apply)(&mut self.engine, cmd, &mut effects);
             if leader {

@@ -1,0 +1,56 @@
+//! Shared JSON formatting helpers for the exporters.
+//!
+//! Both exporters (`MetricsSnapshot::to_json`, `Tracer::to_json`) write
+//! JSON by hand: the schemas are flat and fixed, and hand-writing keeps
+//! the byte output under our control for the determinism guarantees.
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number. Rust's shortest-roundtrip `{}`
+/// formatting is deterministic and never produces exponent-free invalid
+/// tokens; non-finite values fall back to `null`.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot ("2"), which is
+        // already valid JSON; exponents ("1e300") are valid too.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_controls_and_quotes() {
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb"), "a\\nb");
+        assert_eq!(escape_json("a\u{1}b"), "a\\u0001b");
+    }
+
+    #[test]
+    fn f64_formatting() {
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(2.0), "2");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+}

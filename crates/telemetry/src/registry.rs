@@ -1,0 +1,348 @@
+//! Named counters, gauges, and log-bucketed histograms.
+
+use std::collections::BTreeMap;
+
+use crate::export::{escape_json, fmt_f64};
+
+/// Sub-bucket resolution: 2^3 = 8 linear sub-buckets per power-of-two
+/// octave, bounding the relative quantization error at 12.5%.
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+
+/// A log-bucketed histogram of `u64` observations.
+///
+/// Values below 8 get exact unit buckets; above that, each power-of-two
+/// octave is split into 8 linear sub-buckets. Exact `min`, `max`, `sum`,
+/// and `count` are tracked alongside, and percentile reads clamp to the
+/// observed `[min, max]` range, so single-sample and tail queries stay
+/// exact even though interior buckets quantize.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    SUBS + (msb - SUB_BITS) as usize * SUBS + sub
+}
+
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let octave = SUB_BITS + ((idx - SUBS) / SUBS) as u32;
+    let sub = ((idx - SUBS) % SUBS) as u64;
+    (1u64 << octave) + (sub << (octave - SUB_BITS))
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Nearest-rank percentile over the buckets, reported as the bucket's
+    /// lower bound clamped to the observed range. `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(bucket_floor(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Freezes the histogram into its reported form.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            p50: self.percentile(50.0).unwrap_or(0),
+            p90: self.percentile(90.0).unwrap_or(0),
+            p99: self.percentile(99.0).unwrap_or(0),
+            p999: self.percentile(99.9).unwrap_or(0),
+        }
+    }
+}
+
+/// The reported form of one [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (saturating).
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// 50th percentile (bucket lower bound, clamped to `[min, max]`).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Mutable store of named metrics. Keys are `BTreeMap`-ordered so every
+/// iteration (and therefore every export) is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Adds `delta` to a counter, creating it at zero.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets a counter to an absolute value.
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c = value,
+            None => {
+                self.counters.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        debug_assert!(value.is_finite());
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Records one observation into a histogram, creating it empty.
+    pub fn record(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Freezes all metrics into a [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen, deterministic view of a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Frozen histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot as stable, human-diffable JSON: keys in
+    /// BTreeMap order, one metric per line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{}\": {}", escape_json(k), v));
+        }
+        if !self.counters.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{}\": {}", escape_json(k), fmt_f64(*v)));
+        }
+        if !self.gauges.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}}",
+                escape_json(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.p999
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(50.0), Some(2));
+        assert_eq!(h.percentile(100.0), Some(7));
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_bounded() {
+        for v in [8u64, 100, 1_000, 123_456, 9_999_999_999] {
+            let floor = bucket_floor(bucket_index(v));
+            assert!(floor <= v, "floor {floor} above {v}");
+            // The floor is at most one sub-bucket (12.5%) below.
+            assert!((v - floor) as f64 <= v as f64 / SUBS as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index_on_boundaries() {
+        for octave in SUB_BITS..50 {
+            for sub in 0..SUBS as u64 {
+                let v = (1u64 << octave) + (sub << (octave - SUB_BITS));
+                assert_eq!(bucket_floor(bucket_index(v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_clamp_to_range() {
+        let mut h = Histogram::default();
+        h.record(1_000_003);
+        let s = h.snapshot();
+        assert_eq!(s.min, 1_000_003);
+        assert_eq!(s.max, 1_000_003);
+        assert_eq!(s.p50, 1_000_003, "single sample reads back exactly");
+        assert_eq!(s.p999, 1_000_003);
+    }
+
+    #[test]
+    fn uniform_percentiles_close() {
+        let mut h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p99 = h.percentile(99.0).unwrap() as f64;
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.13, "p99 was {p99}");
+        let p50 = h.percentile(50.0).unwrap() as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.13, "p50 was {p50}");
+    }
+
+    #[test]
+    fn snapshot_json_is_stable() {
+        let mut r = Registry::default();
+        r.counter_add("b.two", 2);
+        r.counter_add("a.one", 1);
+        r.gauge_set("g", 2.5);
+        r.record("h_ns", 5);
+        let a = r.snapshot().to_json();
+        let b = r.snapshot().to_json();
+        assert_eq!(a, b);
+        let a_pos = a.find("a.one").unwrap();
+        let b_pos = a.find("b.two").unwrap();
+        assert!(a_pos < b_pos, "keys serialize in sorted order");
+        assert!(a.contains("\"p50\": 5"));
+    }
+
+    #[test]
+    fn empty_snapshot_json() {
+        let r = Registry::default();
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(r.snapshot().is_empty());
+    }
+}

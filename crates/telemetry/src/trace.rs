@@ -1,0 +1,228 @@
+//! Trace-event buffer in the chrome://tracing JSON model.
+
+use crate::export::{escape_json, fmt_f64};
+
+/// Deterministic identifier tying an async begin/end pair together.
+///
+/// Callers derive it from protocol state — e.g. a message id packed as
+/// `(sender << 32) | seq` — never from allocation order or clocks, so a
+/// replay regenerates the same ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Packs two 32-bit components into one id.
+    #[inline]
+    pub fn from_parts(hi: u32, lo: u32) -> Self {
+        SpanId(((hi as u64) << 32) | lo as u64)
+    }
+}
+
+/// The trace-event phase, mirroring the chrome trace-event `ph` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePh {
+    /// A complete span (`"X"`) with an explicit duration.
+    Complete {
+        /// Span duration in simulated nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point event (`"i"`).
+    Instant,
+    /// Async span open (`"b"`), matched by id.
+    AsyncBegin {
+        /// Pairing id.
+        id: SpanId,
+    },
+    /// Async span close (`"e"`).
+    AsyncEnd {
+        /// Pairing id.
+        id: SpanId,
+    },
+}
+
+/// One buffered trace event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Event name shown in the viewer.
+    pub name: String,
+    /// Category (viewer filter lane).
+    pub cat: &'static str,
+    /// Phase and phase-specific payload.
+    pub ph: TracePh,
+    /// Simulated timestamp in nanoseconds.
+    pub ts_ns: u64,
+    /// Simulated node id, mapped to the viewer's thread lane.
+    pub tid: u32,
+    /// Numeric key/value args.
+    pub args: Vec<(String, f64)>,
+}
+
+/// Append-only buffer of [`TraceEvent`]s with an optional capacity.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer keeping at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Tracer {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, or counts it as dropped past capacity.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded past capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Read access to the buffered events, in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Serializes the buffer as chrome://tracing trace-event JSON.
+    ///
+    /// Timestamps convert from nanoseconds to the format's microseconds.
+    /// Events appear in record order, which for a sim-time source is also
+    /// non-decreasing timestamp order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let ts_us = ev.ts_ns as f64 / 1_000.0;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":0,\"tid\":{}",
+                escape_json(&ev.name),
+                escape_json(ev.cat),
+                match ev.ph {
+                    TracePh::Complete { .. } => "X",
+                    TracePh::Instant => "i",
+                    TracePh::AsyncBegin { .. } => "b",
+                    TracePh::AsyncEnd { .. } => "e",
+                },
+                fmt_f64(ts_us),
+                ev.tid
+            ));
+            match ev.ph {
+                TracePh::Complete { dur_ns } => {
+                    out.push_str(&format!(",\"dur\":{}", fmt_f64(dur_ns as f64 / 1_000.0)));
+                }
+                TracePh::Instant => out.push_str(",\"s\":\"t\""),
+                TracePh::AsyncBegin { id } | TracePh::AsyncEnd { id } => {
+                    out.push_str(&format!(",\"id\":\"0x{:x}\"", id.0));
+                }
+            }
+            if !ev.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in ev.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":{}", escape_json(k), fmt_f64(*v)));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_id_packs() {
+        assert_eq!(SpanId::from_parts(1, 2), SpanId(0x1_0000_0002));
+        assert_eq!(SpanId::from_parts(0, 7), SpanId(7));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = Tracer::with_capacity(usize::MAX);
+        t.push(TraceEvent {
+            name: "merge".into(),
+            cat: "flex",
+            ph: TracePh::Complete { dur_ns: 1_500 },
+            ts_ns: 2_000,
+            tid: 3,
+            args: vec![("entries".into(), 4.0)],
+        });
+        t.push(TraceEvent {
+            name: "txn".into(),
+            cat: "client",
+            ph: TracePh::AsyncBegin {
+                id: SpanId::from_parts(9, 1),
+            },
+            ts_ns: 2_500,
+            tid: 0,
+            args: vec![],
+        });
+        let json = t.to_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":1.5"));
+        assert!(json.contains("\"ts\":2"));
+        assert!(json.contains("\"args\":{\"entries\":4}"));
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"id\":\"0x900000001\""));
+    }
+
+    #[test]
+    fn capacity_drops_are_counted() {
+        let mut t = Tracer::with_capacity(1);
+        for i in 0..3 {
+            t.push(TraceEvent {
+                name: "e".into(),
+                cat: "c",
+                ph: TracePh::Instant,
+                ts_ns: i,
+                tid: 0,
+                args: vec![],
+            });
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn escapes_names() {
+        let mut t = Tracer::with_capacity(usize::MAX);
+        t.push(TraceEvent {
+            name: "a\"b\\c".into(),
+            cat: "c",
+            ph: TracePh::Instant,
+            ts_ns: 0,
+            tid: 0,
+            args: vec![],
+        });
+        assert!(t.to_json().contains("a\\\"b\\\\c"));
+    }
+}

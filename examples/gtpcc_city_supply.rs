@@ -15,6 +15,7 @@ use flexcast_gtpcc::WorkloadMode;
 use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
 use flexcast_overlay::{presets, regions};
 use flexcast_sim::SimTime;
+use flexcast_telemetry::Telemetry;
 
 fn main() {
     let cfg = ExperimentConfig {
@@ -29,9 +30,10 @@ fn main() {
         server_service_ms: 0.05,
         server_processing_ms: 20.0,
         advert_stride: None,
+        telemetry: Telemetry::disabled(),
     };
     println!("running gTPC-C (95% locality) over FlexCast O1 on 12 AWS regions…\n");
-    let mut result = run(&cfg);
+    let result = run(&cfg);
     result.check.assert_ok();
 
     println!("transactions completed: {}", result.completed);

@@ -15,6 +15,7 @@ use flexcast_gtpcc::WorkloadMode;
 use flexcast_harness::{run, ExperimentConfig, ProtocolKind};
 use flexcast_overlay::{presets, regions, CDagOrder};
 use flexcast_sim::SimTime;
+use flexcast_telemetry::Telemetry;
 use flexcast_types::GroupId;
 
 fn experiment(order: CDagOrder) -> ExperimentConfig {
@@ -30,6 +31,7 @@ fn experiment(order: CDagOrder) -> ExperimentConfig {
         server_service_ms: 0.05,
         server_processing_ms: 20.0,
         advert_stride: None,
+        telemetry: Telemetry::disabled(),
     }
 }
 
@@ -58,7 +60,7 @@ fn main() {
             .iter()
             .map(|g| (g.rank() + 1).to_string())
             .collect();
-        let mut result = run(&experiment(order));
+        let result = run(&experiment(order));
         result.check.assert_ok();
         let row: Vec<String> = (1..=3)
             .map(|rank| {

@@ -18,5 +18,6 @@ pub use flexcast_net as net;
 pub use flexcast_overlay as overlay;
 pub use flexcast_sim as sim;
 pub use flexcast_smr as smr;
+pub use flexcast_telemetry as telemetry;
 pub use flexcast_types as types;
 pub use flexcast_wire as wire;

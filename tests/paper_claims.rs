@@ -7,6 +7,7 @@ use flexcast_gtpcc::WorkloadMode;
 use flexcast_harness::{run, ExperimentConfig, ExperimentResult, ProtocolKind};
 use flexcast_overlay::presets;
 use flexcast_sim::SimTime;
+use flexcast_telemetry::Telemetry;
 use flexcast_types::GroupId;
 
 fn latency_cfg(protocol: ProtocolKind, locality: f64) -> ExperimentConfig {
@@ -26,10 +27,11 @@ fn latency_cfg(protocol: ProtocolKind, locality: f64) -> ExperimentConfig {
         server_service_ms: 0.05,
         server_processing_ms: 20.0,
         advert_stride: None,
+        telemetry: Telemetry::disabled(),
     }
 }
 
-fn p90(result: &mut ExperimentResult, rank: usize) -> f64 {
+fn p90(result: &ExperimentResult, rank: usize) -> f64 {
     result
         .percentile_row(rank)
         .unwrap_or_else(|| panic!("no samples at destination {rank}"))
@@ -42,19 +44,19 @@ fn p90(result: &mut ExperimentResult, rank: usize) -> f64 {
 #[test]
 fn flexcast_wins_first_destination_at_every_locality() {
     for locality in [0.90, 0.95, 0.99] {
-        let mut flex = run(&latency_cfg(
+        let flex = run(&latency_cfg(
             ProtocolKind::FlexCast(presets::o1()),
             locality,
         ));
-        let mut hier = run(&latency_cfg(
+        let hier = run(&latency_cfg(
             ProtocolKind::Hierarchical(presets::t1()),
             locality,
         ));
-        let mut dist = run(&latency_cfg(ProtocolKind::Distributed, locality));
+        let dist = run(&latency_cfg(ProtocolKind::Distributed, locality));
         flex.check.assert_ok();
         hier.check.assert_ok();
         dist.check.assert_ok();
-        let (f, h, d) = (p90(&mut flex, 1), p90(&mut hier, 1), p90(&mut dist, 1));
+        let (f, h, d) = (p90(&flex, 1), p90(&hier, 1), p90(&dist, 1));
         assert!(
             f < h,
             "locality {locality}: FlexCast 1st-dest 90p {f:.1} must beat hier {h:.1}"
@@ -86,13 +88,13 @@ fn flexcast_wins_first_destination_at_every_locality() {
 /// hierarchical protocol's.
 #[test]
 fn flexcast_pays_more_to_reach_the_second_destination() {
-    let mut flex = run(&latency_cfg(ProtocolKind::FlexCast(presets::o1()), 0.90));
-    let mut hier = run(&latency_cfg(
+    let flex = run(&latency_cfg(ProtocolKind::FlexCast(presets::o1()), 0.90));
+    let hier = run(&latency_cfg(
         ProtocolKind::Hierarchical(presets::t1()),
         0.90,
     ));
-    let flex_step = p90(&mut flex, 2) - p90(&mut flex, 1);
-    let hier_step = p90(&mut hier, 2) - p90(&mut hier, 1);
+    let flex_step = p90(&flex, 2) - p90(&flex, 1);
+    let hier_step = p90(&hier, 2) - p90(&hier, 1);
     assert!(
         flex_step > hier_step,
         "FlexCast 1st→2nd growth {flex_step:.1} vs hierarchical {hier_step:.1}"
@@ -179,11 +181,11 @@ fn star_tree_concentrates_overhead_at_root() {
 /// require O1 to not lose.
 #[test]
 fn o1_at_least_matches_o2_at_first_destination() {
-    let mut o1 = run(&latency_cfg(ProtocolKind::FlexCast(presets::o1()), 0.90));
-    let mut o2 = run(&latency_cfg(ProtocolKind::FlexCast(presets::o2()), 0.90));
+    let o1 = run(&latency_cfg(ProtocolKind::FlexCast(presets::o1()), 0.90));
+    let o2 = run(&latency_cfg(ProtocolKind::FlexCast(presets::o2()), 0.90));
     o1.check.assert_ok();
     o2.check.assert_ok();
-    let (a, b) = (p90(&mut o1, 1), p90(&mut o2, 1));
+    let (a, b) = (p90(&o1, 1), p90(&o2, 1));
     assert!(
         a <= b * 1.15,
         "O1 1st-dest 90p {a:.1} should not lose badly to O2 {b:.1}"
@@ -236,6 +238,7 @@ fn flexcast_histories_cost_bytes() {
             server_service_ms: 0.05,
             server_processing_ms: 20.0,
             advert_stride: None,
+            telemetry: Telemetry::disabled(),
         };
         let r = run(&cfg);
         r.check.assert_ok();

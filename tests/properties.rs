@@ -9,6 +9,7 @@ use flexcast_gtpcc::WorkloadMode;
 use flexcast_harness::{run_on, ExperimentConfig, ProtocolKind};
 use flexcast_overlay::{presets, regions, CDagOrder, Tree};
 use flexcast_sim::SimTime;
+use flexcast_telemetry::Telemetry;
 use flexcast_types::GroupId;
 use proptest::prelude::*;
 
@@ -25,6 +26,7 @@ fn base_config(protocol: ProtocolKind, seed: u64, locality: f64, jitter: f64) ->
         server_service_ms: 0.05,
         server_processing_ms: 10.0,
         advert_stride: Some(16),
+        telemetry: Telemetry::disabled(),
     }
 }
 
