@@ -11,16 +11,22 @@
 //! adversary crashes whichever replica *currently* leads group 0 a fixed
 //! delay after each failover — a state-triggered scenario no schedule can
 //! script — and each cell prints the fired-action trace, which replays
-//! the run as a plain schedule. Reported per cell: availability
-//! (completed ⁄ issued by the end of the run), completion-latency
-//! percentiles, and the drop count. Safety — integrity, prefix/acyclic
-//! order, replica lockstep — is *asserted*, not reported: any violation
-//! aborts the sweep.
+//! the run as a plain schedule. `--adversary quorum-cutter` instead
+//! drives `scenarios::quorum_cutter` — asymmetric partitions that deafen
+//! one minority sibling to each new leader — while sweeping the ballot
+//! leader election's heartbeat timing (`hb_delay`) and the snapshot
+//! catch-up threshold (`catch_up_lag`), both plain `ReplicatedConfig`
+//! fields. Reported per cell: availability (completed ⁄ issued by the end
+//! of the run), completion-latency percentiles, and the drop count.
+//! Safety — integrity, prefix/acyclic order, replica lockstep — is
+//! *asserted*, not reported: any violation aborts the sweep.
 //!
 //! ```sh
 //! cargo run --release --bin fault_sweep            # full scripted sweep
 //! cargo run --release --bin fault_sweep -- --smoke # CI-sized: 1 cell/rf
 //! cargo run --release --bin fault_sweep -- --smoke --adversary leader-hunter
+//! cargo run --release --bin fault_sweep -- --smoke --adversary quorum-cutter \
+//!     --actions-out cutter-actions.txt
 //! ```
 
 use flexcast_chaos::{run_adversary, run_schedule, scenarios, FaultSchedule};
@@ -193,21 +199,99 @@ fn run_hunter_cell(rf: u32, delay_ms: f64, k: u32, smoke: bool) {
     }
 }
 
+/// One quorum-cutter cell: the reactive adversary severs the directed
+/// edge from group 0's *current* leader to one minority sibling for
+/// `cut_ms`, `k` times — the asymmetric partial-connectivity pattern the
+/// ballot leader election exists for. Sweeps ride plain config fields:
+/// `hb_delay` (heartbeat-round length) and `catch_up_lag` (snapshot
+/// catch-up threshold + compaction depth). Returns the fired-action
+/// trace, which replays the run as a plain schedule.
+fn run_cutter_cell(
+    rf: u32,
+    delay_ms: f64,
+    cut_ms: f64,
+    k: u32,
+    hb_delay: u64,
+    catch_up_lag: u64,
+    smoke: bool,
+) -> Vec<(SimTime, flexcast_chaos::FaultEvent)> {
+    let n_groups: u16 = 3;
+    let mut cfg = ReplicatedConfig::small(n_groups, rf, 40 + rf as u64);
+    cfg.hb_delay = hb_delay;
+    cfg.catch_up_lag = catch_up_lag;
+    if smoke {
+        cfg.n_clients = 1;
+        cfg.msgs_per_client = 4;
+        cfg.stop_at = SimTime::from_secs(15);
+    } else {
+        cfg.n_clients = 2;
+        cfg.msgs_per_client = 10;
+    }
+
+    let m = matrix(n_groups as usize);
+    let mut world = build_world(&cfg, &m);
+    let mut cutter = scenarios::quorum_cutter(GroupId(0), group_pids(0, rf), delay_ms, cut_ms, k);
+    let start = std::time::Instant::now();
+    let run = run_adversary(&mut world, &mut cutter, MAX_EVENTS);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let stats = world.stats();
+    let r = collect(&cfg, &world);
+
+    assert!(
+        r.check.safety_ok(),
+        "safety violation at rf={rf} cutter hb={hb_delay} lag={catch_up_lag}: {:?}",
+        r.check
+    );
+    let (p50, p90, p99, p999) = latency_row(&r.latency);
+    println!(
+        "  rf={:<2} cut delay={:>4.0}ms hb={:<2} lag={:<3} cuts={}/{}  avail={:>6.1}% ({}/{})  p50={:>7.1}ms p90={:>7.1}ms p99={:>7.1}ms p999={:>7.1}ms  dropped={:<5} events={}  eps={:.0}",
+        rf,
+        delay_ms,
+        hb_delay,
+        catch_up_lag,
+        cutter.cuts().len(),
+        k,
+        100.0 * r.availability,
+        r.completed,
+        r.issued,
+        p50,
+        p90,
+        p99,
+        p999,
+        r.dropped,
+        r.events,
+        stats.events_per_sec(wall_secs),
+    );
+    for (t, ev) in &run.actions {
+        println!("      @{:>9.1}ms {:?}", t.as_ms(), ev);
+    }
+    run.actions
+}
+
+/// Which reactive adversary axis to run alongside the scripted sweep.
+#[derive(Clone, Copy, PartialEq)]
+enum AdversaryAxis {
+    None,
+    LeaderHunter,
+    QuorumCutter,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let hunter = match args.iter().position(|a| a == "--adversary") {
-        Some(i) => {
-            let which = args.get(i + 1).map(String::as_str);
-            assert_eq!(
-                which,
-                Some("leader-hunter"),
-                "unknown adversary {which:?}; supported: leader-hunter"
-            );
-            true
-        }
-        None => false,
+    let adversary = match args.iter().position(|a| a == "--adversary") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("leader-hunter") => AdversaryAxis::LeaderHunter,
+            Some("quorum-cutter") => AdversaryAxis::QuorumCutter,
+            which => panic!("unknown adversary {which:?}; supported: leader-hunter, quorum-cutter"),
+        },
+        None => AdversaryAxis::None,
     };
+    let actions_out: Option<String> = args
+        .iter()
+        .position(|a| a == "--actions-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let trace_out: Option<String> = args
         .iter()
         .position(|a| a == "--trace-out")
@@ -244,7 +328,7 @@ fn main() {
             }
         }
     }
-    if hunter {
+    if adversary == AdversaryAxis::LeaderHunter {
         println!("adversary axis: leader hunter on group 0 (reactive, state-triggered)");
         let delays: &[f64] = if smoke {
             &[250.0]
@@ -255,6 +339,35 @@ fn main() {
             for &delay_ms in delays {
                 run_hunter_cell(rf, delay_ms, 3, smoke);
             }
+        }
+    }
+    if adversary == AdversaryAxis::QuorumCutter {
+        println!("adversary axis: quorum cutter on group 0 (asymmetric leader↛minority cuts)");
+        let mut fired = Vec::new();
+        // Sweep the heartbeat-round length at the default catch-up lag,
+        // then the catch-up lag at the default round length — both plain
+        // `ReplicatedConfig` fields.
+        let cells: &[(u64, u64)] = if smoke {
+            &[(4, 64)]
+        } else {
+            &[(2, 64), (4, 64), (8, 64), (4, 16), (4, 256)]
+        };
+        for &(hb, lag) in cells {
+            let actions = run_cutter_cell(3, 150.0, 4_000.0, 2, hb, lag, smoke);
+            fired.push(((hb, lag), actions));
+        }
+        if let Some(path) = &actions_out {
+            // The fired-action trace artifact: each line is one applied
+            // fault event; replaying a cell's lines as a timed schedule
+            // reproduces its execution on the same seed.
+            let mut out = String::new();
+            for ((hb, lag), actions) in &fired {
+                for (t, ev) in actions {
+                    out.push_str(&format!("hb={hb} lag={lag} @{:.1}ms {ev:?}\n", t.as_ms()));
+                }
+            }
+            std::fs::write(path, out).expect("write fired-action trace");
+            println!("wrote {path} (quorum-cutter fired-action trace)");
         }
     }
     // One extra instrumented cell, separate from the reported sweep so

@@ -133,6 +133,158 @@ impl Adversary for LeaderHunter {
     }
 }
 
+/// The quorum cutter: an *asymmetric* partitioner that aims at the
+/// election mechanism itself. `delay_ms` after each election in `group`
+/// it severs the single directed link leader → next sibling for `cut_ms`,
+/// up to `k` cuts. The victim stops hearing the leader while everyone
+/// else (including the leader's reverse path) stays connected — so a
+/// quorum is connected the whole time, and the group *should* keep one
+/// stable leader. Timeout-raced elections duel here (the deaf victim
+/// campaigns forever against a leader it cannot hear); ballot leader
+/// election moves leadership to a connected replica within a bounded
+/// number of heartbeat rounds.
+///
+/// `replicas` is the group's full pid set in replica order (the caller
+/// owns the layout, e.g. `flexcast-harness::replicated::replica_pid`).
+/// Drive with [`crate::run_adversary`]; [`QuorumCutter::cuts`] records
+/// every fired cut.
+pub fn quorum_cutter(
+    group: GroupId,
+    replicas: Vec<ProcessId>,
+    delay_ms: f64,
+    cut_ms: f64,
+    k: u32,
+) -> QuorumCutter {
+    QuorumCutter {
+        group,
+        replicas,
+        delay_ms,
+        cut_ms,
+        remaining: k,
+        cuts: Vec::new(),
+    }
+}
+
+/// The reactive adversary built by [`quorum_cutter`].
+#[derive(Clone, Debug)]
+pub struct QuorumCutter {
+    group: GroupId,
+    replicas: Vec<ProcessId>,
+    delay_ms: f64,
+    cut_ms: f64,
+    remaining: u32,
+    cuts: Vec<(SimTime, ProcessId, ProcessId)>,
+}
+
+impl QuorumCutter {
+    /// Every cut fired so far: `(block time, leader pid, victim pid)` in
+    /// firing order.
+    pub fn cuts(&self) -> &[(SimTime, ProcessId, ProcessId)] {
+        &self.cuts
+    }
+
+    /// Cuts not yet spent.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+}
+
+impl Adversary for QuorumCutter {
+    fn on_observation(&mut self, obs: &Observation, ctx: &mut FaultCtx) {
+        let Observation::LeaderElected { group, pid, .. } = obs else {
+            return;
+        };
+        if *group != self.group || self.remaining == 0 {
+            return;
+        }
+        let Some(idx) = self.replicas.iter().position(|p| p == pid) else {
+            return;
+        };
+        // Deafen the next sibling in replica order to the new leader —
+        // one directed edge, quorum untouched.
+        let victim = self.replicas[(idx + 1) % self.replicas.len()];
+        if victim == *pid {
+            return; // single-replica group: nothing to cut
+        }
+        self.remaining -= 1;
+        let at = ctx.now() + SimTime::from_ms(self.delay_ms);
+        self.cuts.push((at, *pid, victim));
+        ctx.after_ms(
+            self.delay_ms,
+            FaultEvent::BlockLink {
+                from: *pid,
+                to: victim,
+            },
+        );
+        ctx.after_ms(
+            self.delay_ms + self.cut_ms,
+            FaultEvent::UnblockLink {
+                from: *pid,
+                to: victim,
+            },
+        );
+    }
+}
+
+/// The rejoin hunter: aims at recovery instead of leadership. `delay_ms`
+/// after the first election in `group` it crashes one *follower* for
+/// `down_ms` — long enough, with ongoing traffic, that the victim falls
+/// further behind than any bounded replay window and must come back via
+/// snapshot catch-up. One shot by design: the point is a deep, clean gap,
+/// not churn.
+///
+/// `replicas` is the group's full pid set in replica order. The victim is
+/// the last replica that is not the observed leader.
+pub fn rejoin_hunter(
+    group: GroupId,
+    replicas: Vec<ProcessId>,
+    delay_ms: f64,
+    down_ms: f64,
+) -> RejoinHunter {
+    RejoinHunter {
+        group,
+        replicas,
+        delay_ms,
+        down_ms,
+        kill: None,
+    }
+}
+
+/// The reactive adversary built by [`rejoin_hunter`].
+#[derive(Clone, Debug)]
+pub struct RejoinHunter {
+    group: GroupId,
+    replicas: Vec<ProcessId>,
+    delay_ms: f64,
+    down_ms: f64,
+    kill: Option<(SimTime, ProcessId)>,
+}
+
+impl RejoinHunter {
+    /// The one kill, if fired: `(crash time, victim pid)`.
+    pub fn kill(&self) -> Option<(SimTime, ProcessId)> {
+        self.kill
+    }
+}
+
+impl Adversary for RejoinHunter {
+    fn on_observation(&mut self, obs: &Observation, ctx: &mut FaultCtx) {
+        let Observation::LeaderElected { group, pid, .. } = obs else {
+            return;
+        };
+        if *group != self.group || self.kill.is_some() {
+            return;
+        }
+        let Some(&victim) = self.replicas.iter().rev().find(|&&p| p != *pid) else {
+            return; // single-replica group
+        };
+        let at = ctx.now() + SimTime::from_ms(self.delay_ms);
+        self.kill = Some((at, victim));
+        ctx.after_ms(self.delay_ms, FaultEvent::Crash(victim));
+        ctx.after_ms(self.delay_ms + self.down_ms, FaultEvent::Recover(victim));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +354,65 @@ mod tests {
         let mut ctx = FaultCtx::new(SimTime::from_ms(1_200.0));
         h.on_observation(&elected(2, 1_200.0), &mut ctx);
         assert_eq!(h.kills().len(), 2);
+    }
+
+    #[test]
+    fn quorum_cutter_severs_one_directed_edge_per_election() {
+        let mut q = quorum_cutter(GroupId(0), vec![0, 1, 2], 100.0, 800.0, 2);
+        let elected = |pid: ProcessId, ms: f64| Observation::LeaderElected {
+            group: GroupId(0),
+            replica: pid as u32,
+            pid,
+            at: SimTime::from_ms(ms),
+        };
+        // Leader 0 elected: cut 0 → 1 only (quorum {0, 2} and {1, 2}
+        // both stay connected; only the one directed edge goes dark).
+        let mut ctx = FaultCtx::new(SimTime::from_ms(10.0));
+        q.on_observation(&elected(0, 10.0), &mut ctx);
+        assert_eq!(q.cuts(), &[(SimTime::from_ms(110.0), 0, 1)]);
+        assert_eq!(q.remaining(), 1);
+
+        // Another group: ignored. Failover to 1: re-aims at 1 → 2.
+        let mut ctx = FaultCtx::new(SimTime::from_ms(300.0));
+        q.on_observation(
+            &Observation::LeaderElected {
+                group: GroupId(3),
+                replica: 0,
+                pid: 9,
+                at: SimTime::from_ms(300.0),
+            },
+            &mut ctx,
+        );
+        assert_eq!(q.remaining(), 1, "wrong group does not spend a cut");
+        let mut ctx = FaultCtx::new(SimTime::from_ms(900.0));
+        q.on_observation(&elected(1, 900.0), &mut ctx);
+        assert_eq!(q.cuts().len(), 2);
+        assert_eq!(q.cuts()[1], (SimTime::from_ms(1_000.0), 1, 2));
+        assert_eq!(q.remaining(), 0);
+
+        // Out of ammo: the next failover is spared.
+        let mut ctx = FaultCtx::new(SimTime::from_ms(2_000.0));
+        q.on_observation(&elected(2, 2_000.0), &mut ctx);
+        assert_eq!(q.cuts().len(), 2);
+    }
+
+    #[test]
+    fn rejoin_hunter_crashes_one_follower_once() {
+        let mut h = rejoin_hunter(GroupId(0), vec![0, 1, 2], 200.0, 5_000.0);
+        let elected = |pid: ProcessId, ms: f64| Observation::LeaderElected {
+            group: GroupId(0),
+            replica: pid as u32,
+            pid,
+            at: SimTime::from_ms(ms),
+        };
+        let mut ctx = FaultCtx::new(SimTime::from_ms(10.0));
+        h.on_observation(&elected(0, 10.0), &mut ctx);
+        // Victim is the last non-leader replica, down for the long haul.
+        assert_eq!(h.kill(), Some((SimTime::from_ms(210.0), 2)));
+
+        // One shot: the failover after the kill is not re-targeted.
+        let mut ctx = FaultCtx::new(SimTime::from_ms(1_000.0));
+        h.on_observation(&elected(1, 1_000.0), &mut ctx);
+        assert_eq!(h.kill(), Some((SimTime::from_ms(210.0), 2)));
     }
 }

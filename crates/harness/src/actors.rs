@@ -324,7 +324,11 @@ impl ServerActor {
                 self.handle_hier_outputs(outs, ctx);
             }
             NetMsg::Reply { .. } => panic!("servers do not receive replies"),
-            NetMsg::Repl(_) | NetMsg::GroupMsg { .. } => {
+            NetMsg::Repl(_)
+            | NetMsg::GroupMsg { .. }
+            | NetMsg::Ble(_)
+            | NetMsg::SnapReq { .. }
+            | NetMsg::Snapshot { .. } => {
                 panic!("replication traffic belongs to replicated worlds")
             }
         }

@@ -3,7 +3,7 @@
 use crate::replicated::ReplCmd;
 use flexcast_baselines::{HierPacket, SkeenPacket};
 use flexcast_core::Packet as FlexPacket;
-use flexcast_smr::PaxosMsg;
+use flexcast_smr::{BleMsg, PaxosMsg};
 use flexcast_types::{Message, MsgId};
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +47,25 @@ pub enum NetMsg {
         /// The FlexCast packet.
         pkt: FlexPacket,
     },
+    /// Intra-group ballot-leader-election heartbeat traffic.
+    Ble(BleMsg),
+    /// A lagging replica asking a sibling for a state snapshot. Re-sent
+    /// every maintenance tick while the lag persists, so losing any one
+    /// request (or its reply) only delays the transfer.
+    SnapReq {
+        /// The requester's apply cursor: a useful snapshot covers more.
+        have: u64,
+    },
+    /// A sibling's snapshot reply: the serialized replicated state machine
+    /// through slot `through`. Receivers discard stale or duplicate
+    /// transfers (`through` at or below their own cursor), which makes the
+    /// exchange loss/dup/reorder-safe.
+    Snapshot {
+        /// The snapshot covers slots `..through`.
+        through: u64,
+        /// `flexcast_wire`-encoded [`crate::replicated::ReplSnapshot`].
+        state: Vec<u8>,
+    },
 }
 
 impl NetMsg {
@@ -66,6 +85,9 @@ impl NetMsg {
             NetMsg::Reply { .. } => false,
             NetMsg::Repl(_) => false,
             NetMsg::GroupMsg { pkt, .. } => pkt.is_payload(),
+            NetMsg::Ble(_) => false,
+            NetMsg::SnapReq { .. } => false,
+            NetMsg::Snapshot { .. } => false,
         }
     }
 }

@@ -50,7 +50,7 @@ use crate::netmsg::NetMsg;
 use flexcast_core::{FlexCastGroup, Output, Packet};
 use flexcast_overlay::{CDagOrder, LatencyMatrix};
 use flexcast_sim::{Actor, Ctx, LinkModel, Observation, ProcessId, SimTime, Summary, World};
-use flexcast_smr::{GroupEffect, ReplicatedGroup};
+use flexcast_smr::{BallotLeaderElection, BleOutput, GroupEffect, ReplicatedGroup};
 use flexcast_telemetry::{MetricsSnapshot, Telemetry};
 use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId};
 use rand::rngs::StdRng;
@@ -83,6 +83,29 @@ pub enum ReplCmd {
         /// The replica that proposed it (debugging only).
         proposer: u32,
     },
+}
+
+/// A serialized [`ReplEngine`]: what one replica ships to a lagging
+/// sibling during snapshot catch-up. The engine itself travels as its own
+/// [`FlexCastGroup::snapshot`] bytes; the C-DAG order is *not* part of the
+/// snapshot — it is static per run, so the receiver re-supplies its own
+/// copy at restore.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplSnapshot {
+    /// [`FlexCastGroup::snapshot`] of the wrapped engine.
+    pub engine: Vec<u8>,
+    /// Client messages already consumed by the engine.
+    pub applied_clients: BTreeSet<MsgId>,
+    /// Next expected sequence number per inbound group link.
+    pub next_in: BTreeMap<GroupId, u64>,
+    /// Out-of-order inbound packets held until their turn.
+    pub held: BTreeMap<(GroupId, u64), Packet>,
+    /// Next sequence number per outbound group link.
+    pub next_out: BTreeMap<GroupId, u64>,
+    /// The replicated outbox of inter-group sends.
+    pub outbox: Vec<(GroupId, u64, Packet)>,
+    /// Delivery log in commit order.
+    pub log: Vec<MsgId>,
 }
 
 /// The replicated state machine: a FlexCast engine plus the dedup and
@@ -166,6 +189,37 @@ impl ReplEngine {
             .lowest()
             .expect("multicasts have destinations");
         self.order.node_at(lca_rank)
+    }
+
+    /// Serializes the full replicated state for transfer to a lagging
+    /// sibling. Deterministic: two replicas with identical state produce
+    /// byte-identical snapshots, which is what the lockstep checker's
+    /// bit-for-bit round-trip assertion leans on.
+    pub fn to_snapshot(&self) -> ReplSnapshot {
+        ReplSnapshot {
+            engine: self.engine.snapshot().expect("engines always serialize"),
+            applied_clients: self.applied_clients.clone(),
+            next_in: self.next_in.clone(),
+            held: self.held.clone(),
+            next_out: self.next_out.clone(),
+            outbox: self.outbox.clone(),
+            log: self.log.clone(),
+        }
+    }
+
+    /// Reconstructs the state machine from a sibling's snapshot. `order`
+    /// is the receiver's own copy of the (static, per-run) C-DAG order.
+    pub fn from_snapshot(snap: ReplSnapshot, order: CDagOrder) -> flexcast_types::Result<Self> {
+        Ok(ReplEngine {
+            engine: FlexCastGroup::restore(&snap.engine)?,
+            order,
+            applied_clients: snap.applied_clients,
+            next_in: snap.next_in,
+            held: snap.held,
+            next_out: snap.next_out,
+            outbox: snap.outbox,
+            log: snap.log,
+        })
     }
 
     fn absorb(&mut self, outputs: Vec<Output>, out: &mut Vec<GroupEffect<ReplCmd>>) {
@@ -271,6 +325,9 @@ pub struct ReplicatedActor {
     rf: u32,
     n_groups: usize,
     rg: ReplicatedGroup<ReplEngine, ReplCmd>,
+    /// The (static, per-run) C-DAG order — kept so a received snapshot can
+    /// be restored without shipping the order over the wire.
+    order: CDagOrder,
     /// Inputs seen on the network and not yet observed applied.
     inbox: Vec<ReplCmd>,
     was_leader: bool,
@@ -279,6 +336,21 @@ pub struct ReplicatedActor {
     retransmit_every: u64,
     ticks: u64,
     last_leader_seen: SimTime,
+    /// How leaders are elected; [`ElectionMode::Ble`] runs `ble` below,
+    /// [`ElectionMode::StaggeredTimeout`] the legacy suspicion logic.
+    election: ElectionMode,
+    /// The ballot-leader-election oracle (pumped only in BLE mode).
+    ble: BallotLeaderElection,
+    /// BLE round at which the previous `Leader` event fired here (feeds
+    /// the `smr.election_rounds` histogram).
+    last_leader_round: u64,
+    /// Snapshot catch-up threshold and compaction distance, in slots.
+    catch_up_lag: u64,
+    /// When this replica first noticed its current excessive lag (opens
+    /// the `catch_up` async span; closed and cleared at install).
+    catch_up_started: Option<SimTime>,
+    /// Snapshots this replica installed (diagnostics and tests).
+    pub snapshot_installs: u64,
     /// Rotating cursor into the outbox for bounded retransmission rounds.
     retransmit_cursor: usize,
     /// Leader-side delivery emissions with simulated times (diagnostics;
@@ -294,42 +366,39 @@ pub struct ReplicatedActor {
 }
 
 impl ReplicatedActor {
-    /// Creates replica `replica` of the group at `node`. The `telemetry`
-    /// handle (usually a clone of the config's) counts committed commands
-    /// live; pass [`Telemetry::disabled`] for an uninstrumented replica.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        node: GroupId,
-        replica: u32,
-        rf: u32,
-        order: CDagOrder,
-        tick: SimTime,
-        stop_at: SimTime,
-        retransmit_every: u64,
-        advert_stride: Option<u32>,
-        telemetry: Telemetry,
-    ) -> Self {
-        let n_groups = order.len();
+    /// Creates replica `replica` of the group at `node`, taking timers,
+    /// election mode, heartbeat/catch-up tuning, and the telemetry handle
+    /// from `cfg` (committed commands are counted live; a disabled handle
+    /// makes the replica uninstrumented).
+    pub fn new(node: GroupId, replica: u32, cfg: &ReplicatedConfig) -> Self {
+        let n_groups = cfg.order.len();
         let mut rg = ReplicatedGroup::new(
             replica,
-            rf,
-            ReplEngine::new(node, order, advert_stride),
+            cfg.rf,
+            ReplEngine::new(node, cfg.order.clone(), cfg.advert_stride),
             apply_cmd,
         );
-        rg.set_telemetry(telemetry);
+        rg.set_telemetry(cfg.telemetry.clone());
         ReplicatedActor {
             node,
             replica,
-            rf,
+            rf: cfg.rf,
             n_groups,
             rg,
+            order: cfg.order.clone(),
             inbox: Vec::new(),
             was_leader: false,
-            tick,
-            stop_at,
-            retransmit_every: retransmit_every.max(1),
+            tick: cfg.tick,
+            stop_at: cfg.stop_at,
+            retransmit_every: cfg.retransmit_every.max(1),
             ticks: 0,
             last_leader_seen: SimTime::ZERO,
+            election: cfg.election,
+            ble: BallotLeaderElection::new(replica, cfg.rf, cfg.hb_delay, cfg.hb_increment),
+            last_leader_round: 0,
+            catch_up_lag: cfg.catch_up_lag.max(1),
+            catch_up_started: None,
+            snapshot_installs: 0,
             retransmit_cursor: 0,
             delivery_events: Vec::new(),
             election_started: None,
@@ -354,6 +423,12 @@ impl ReplicatedActor {
         self.rg.engine()
     }
 
+    /// The replication layer itself (compaction marker, apply cursor,
+    /// commit lag — catch-up diagnostics for tests and tools).
+    pub fn replication(&self) -> &ReplicatedGroup<ReplEngine, ReplCmd> {
+        &self.rg
+    }
+
     /// True if this replica currently leads its group.
     pub fn is_leader(&self) -> bool {
         self.rg.is_leader()
@@ -376,12 +451,62 @@ impl ReplicatedActor {
         ctx.send_many(targets, NetMsg::GroupMsg { seq, pkt });
     }
 
+    /// Ships this replica's full state to sibling `to` (snapshot catch-up
+    /// serving side). Any replica can serve; the receiver discards stale
+    /// or duplicate transfers, so serving is always safe.
+    fn send_snapshot(&self, to: u32, ctx: &mut Ctx<'_, NetMsg>) {
+        let through = self.rg.applied_slots();
+        let state = flexcast_wire::to_bytes(&self.rg.engine().to_snapshot())
+            .expect("snapshots always encode");
+        ctx.telemetry().instant(
+            "smr",
+            "snapshot_sent",
+            self.node.0 as u32,
+            ctx.now().as_nanos(),
+        );
+        ctx.send(
+            replica_pid(self.node, to, self.rf),
+            NetMsg::Snapshot { through, state },
+        );
+    }
+
+    /// Applies a batch of BLE outputs: heartbeat traffic goes on the wire;
+    /// a `Leader` event for *this* replica stands for the Paxos election
+    /// with the elected ballot (the BLE → Paxos handoff). Followers need
+    /// no action — the new leader's `Prepare` demotes any stale claimant.
+    fn pump_ble(&mut self, outs: Vec<BleOutput>, ctx: &mut Ctx<'_, NetMsg>) {
+        for o in outs {
+            match o {
+                BleOutput::Send { to, msg } => {
+                    ctx.send(replica_pid(self.node, to, self.rf), NetMsg::Ble(msg));
+                }
+                BleOutput::Leader(ballot) => {
+                    let rounds = self.ble.hb_round().saturating_sub(self.last_leader_round);
+                    self.last_leader_round = self.ble.hb_round();
+                    ctx.telemetry().record("smr.election_rounds", rounds);
+                    if ballot.owner == self.replica {
+                        self.election_started.get_or_insert(ctx.now());
+                        let mut fx = Vec::new();
+                        self.rg.handle_leader(ballot, &mut fx);
+                        self.emit(fx, ctx);
+                        self.check_transition(ctx);
+                    }
+                }
+            }
+        }
+    }
+
     /// Emits a batch of group effects into the network. Never proposes.
     fn emit(&mut self, fx: Vec<GroupEffect<ReplCmd>>, ctx: &mut Ctx<'_, NetMsg>) {
         for e in fx {
             match e {
                 GroupEffect::Replication { to, msg } => {
                     ctx.send(replica_pid(self.node, to, self.rf), NetMsg::Repl(msg));
+                }
+                GroupEffect::SnapshotNeeded { to, .. } => {
+                    // A sibling's LearnReq dipped below our compaction
+                    // marker: replay cannot help it, a snapshot can.
+                    self.send_snapshot(to, ctx);
                 }
                 GroupEffect::Engine(ReplCmd::Client(m)) => {
                     self.delivery_events.push(DeliveryEvent {
@@ -508,12 +633,58 @@ impl ReplicatedActor {
         SimTime::from_ms(self.tick.as_ms() * (4.0 + 3.0 * self.replica as f64))
     }
 
+    /// Per-tick snapshot catch-up bookkeeping: compact the local log to a
+    /// bounded window behind the apply cursor, and — when this replica's
+    /// commit lag exceeds the window — ask every sibling for a snapshot.
+    /// The request repeats each tick while the lag persists, so lost
+    /// requests or replies only delay the transfer.
+    fn tick_catch_up(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        let applied = self.rg.applied_slots();
+        if applied > self.catch_up_lag {
+            self.rg.compact_to(applied - self.catch_up_lag);
+        }
+        if self.rg.commit_lag() > self.catch_up_lag {
+            if self.catch_up_started.is_none() {
+                self.catch_up_started = Some(ctx.now());
+                ctx.telemetry().async_begin(
+                    "smr",
+                    "catch_up",
+                    flexcast_telemetry::SpanId::from_parts(self.node.0 as u32, self.replica),
+                    self.node.0 as u32,
+                    ctx.now().as_nanos(),
+                );
+            }
+            for r in (0..self.rf).filter(|&r| r != self.replica) {
+                ctx.send(
+                    replica_pid(self.node, r, self.rf),
+                    NetMsg::SnapReq { have: applied },
+                );
+            }
+        }
+    }
+
     fn on_tick(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
         self.ticks += 1;
         // Drop inputs the group has since applied.
         let applied: Vec<bool> = self.inbox.iter().map(|c| self.is_applied(c)).collect();
         let mut keep = applied.iter().map(|&a| !a);
         self.inbox.retain(|_| keep.next().unwrap_or(true));
+
+        if self.election == ElectionMode::Ble {
+            let mut ble_out = Vec::new();
+            self.ble.on_tick(&mut ble_out);
+            self.pump_ble(ble_out, ctx);
+            if self.ble.leader().is_some() {
+                // Rounds spent *with* a known leader are not part of any
+                // election; keeping the cursor fresh makes the
+                // `smr.election_rounds` histogram measure leaderless gaps
+                // only. For a majority-connected replica that is the
+                // failover time; for a cut-off replica it includes the
+                // partition span (it stays leaderless until the heal).
+                self.last_leader_round = self.ble.hb_round();
+            }
+        }
+        self.tick_catch_up(ctx);
 
         let mut fx = Vec::new();
         if self.rg.is_leader() {
@@ -561,7 +732,9 @@ impl ReplicatedActor {
                     &[("msgs", repairs as f64)],
                 );
             }
-            if ctx.now().since(self.last_leader_seen) > self.suspicion_threshold() {
+            if self.election == ElectionMode::StaggeredTimeout
+                && ctx.now().since(self.last_leader_seen) > self.suspicion_threshold()
+            {
                 self.last_leader_seen = ctx.now();
                 self.election_started.get_or_insert(ctx.now());
                 let mut fx = Vec::new();
@@ -591,10 +764,25 @@ impl Actor<NetMsg> for ReplicatedActor {
         // not a probe bug (DESIGN.md §9.5). At first boot the flag is
         // already false.
         self.was_leader = false;
-        // First boot: replica 0 of each group runs the initial election.
+        // Run the transition detector *now*, not at the first tick or
+        // message: a bare flag reset left a window where a demotion (a
+        // rival's higher-ballot Prepare) arriving before the first
+        // callback found `was_leader == false` and was swallowed — the
+        // restart claim went unpublished and the eventual loss unpaired.
+        // Publishing the claim synchronously keeps the Elected/Lost
+        // stream exactly-once per transition in both directions.
+        if self.rg.is_leader() {
+            self.check_transition(ctx);
+        }
+        // First boot under the legacy election: replica 0 of each group
+        // runs the initial election. (BLE needs no special casing — its
+        // seeded ballots elect replica 0 in the first completed round.)
         // On recovery (the simulator re-runs on_start after a crash heals)
         // this block is skipped and the suspicion logic takes over.
-        if ctx.now() == SimTime::ZERO && self.replica == 0 {
+        if self.election == ElectionMode::StaggeredTimeout
+            && ctx.now() == SimTime::ZERO
+            && self.replica == 0
+        {
             self.election_started = Some(ctx.now());
             let mut fx = Vec::new();
             self.rg.start_election(&mut fx);
@@ -639,6 +827,48 @@ impl Actor<NetMsg> for ReplicatedActor {
                     .on_replication(replica_of(from, self.rf), pm, &mut fx);
                 self.emit(fx, ctx);
                 self.check_transition(ctx);
+            }
+            NetMsg::Ble(bm) => {
+                let mut ble_out = Vec::new();
+                self.ble
+                    .on_message(replica_of(from, self.rf), bm, &mut ble_out);
+                self.pump_ble(ble_out, ctx);
+            }
+            NetMsg::SnapReq { have } => {
+                // Serve whenever strictly ahead: the requester keeps asking
+                // until its lag closes, and installs only transfers that
+                // advance its cursor, so over-serving is merely traffic.
+                if self.rg.applied_slots() > have {
+                    self.send_snapshot(replica_of(from, self.rf), ctx);
+                }
+            }
+            NetMsg::Snapshot { through, state } => {
+                if through <= self.rg.applied_slots() {
+                    return; // stale or duplicate transfer
+                }
+                let snap: ReplSnapshot =
+                    flexcast_wire::from_bytes(&state).expect("snapshots always decode");
+                let engine = ReplEngine::from_snapshot(snap, self.order.clone())
+                    .expect("snapshot engines always restore");
+                if self.rg.install_snapshot(engine, through) {
+                    self.snapshot_installs += 1;
+                    ctx.telemetry()
+                        .record("smr.catch_up_bytes", state.len() as u64);
+                    if let Some(t0) = self.catch_up_started.take() {
+                        ctx.telemetry().async_end(
+                            "smr",
+                            "catch_up",
+                            flexcast_telemetry::SpanId::from_parts(
+                                self.node.0 as u32,
+                                self.replica,
+                            ),
+                            self.node.0 as u32,
+                            ctx.now().as_nanos(),
+                        );
+                        ctx.telemetry()
+                            .record("smr.catch_up_ns", ctx.now().since(t0).as_nanos());
+                    }
+                }
             }
             other => panic!("replica received unexpected message {other:?}"),
         }
@@ -1012,6 +1242,21 @@ impl Actor<NetMsg> for ReplNode {
     }
 }
 
+/// How replicas elect a leader after failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElectionMode {
+    /// Heartbeat-round ballot leader election ([`BallotLeaderElection`]):
+    /// elects exactly one stable leader whenever some replica can reach a
+    /// quorum round-trip, even under asymmetric link cuts. The default.
+    Ble,
+    /// The legacy staggered-timeout election: each follower stands for
+    /// election after a silence proportional to its replica id. Lower ids
+    /// win races in the common case, but asymmetric partitions can
+    /// livelock it with dueling candidates — kept selectable precisely so
+    /// tests can pin that contrast against [`ElectionMode::Ble`].
+    StaggeredTimeout,
+}
+
 /// Configuration of a replicated-group experiment.
 #[derive(Clone, Debug)]
 pub struct ReplicatedConfig {
@@ -1055,6 +1300,20 @@ pub struct ReplicatedConfig {
     /// Number of flushes the flusher issues (ignored without
     /// [`ReplicatedConfig::flush_period`]).
     pub n_flushes: u32,
+    /// How replicas elect a leader ([`ElectionMode::Ble`] by default).
+    pub election: ElectionMode,
+    /// Heartbeat-round length for ballot leader election, in maintenance
+    /// ticks. Shorter rounds fail over faster; longer rounds tolerate more
+    /// jitter without false suspicion. Sweepable via `fault_sweep`.
+    pub hb_delay: u64,
+    /// How many ticks a BLE round grows by when replies arrive late
+    /// (adaptive timeout; capped at 8× [`ReplicatedConfig::hb_delay`]).
+    pub hb_increment: u64,
+    /// Snapshot catch-up threshold, in Paxos slots: a replica whose
+    /// commit lag exceeds this requests a sibling snapshot instead of
+    /// replaying the log, and every replica compacts its log to this many
+    /// slots behind its apply cursor.
+    pub catch_up_lag: u64,
     /// Telemetry handle, disabled by default. Clones share one registry
     /// and tracer; [`collect`] snapshots it into the result.
     pub telemetry: Telemetry,
@@ -1081,6 +1340,10 @@ impl ReplicatedConfig {
             advert_stride: None,
             flush_period: None,
             n_flushes: 0,
+            election: ElectionMode::Ble,
+            hb_delay: 4,
+            hb_increment: 2,
+            catch_up_lag: 64,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -1138,17 +1401,7 @@ pub fn build_world(cfg: &ReplicatedConfig, matrix: &LatencyMatrix) -> World<NetM
     let mut sites: Vec<GroupId> = Vec::new();
     for g in 0..cfg.n_groups {
         for r in 0..cfg.rf {
-            actors.push(ReplNode::Replica(ReplicatedActor::new(
-                GroupId(g),
-                r,
-                cfg.rf,
-                cfg.order.clone(),
-                cfg.tick,
-                cfg.stop_at,
-                cfg.retransmit_every,
-                cfg.advert_stride,
-                cfg.telemetry.clone(),
-            )));
+            actors.push(ReplNode::Replica(ReplicatedActor::new(GroupId(g), r, cfg)));
             sites.push(GroupId(g));
         }
     }

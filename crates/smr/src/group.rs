@@ -16,7 +16,7 @@
 //!    change the new leader may resend; FlexCast's receivers are
 //!    idempotent for duplicate acks and re-merged histories).
 
-use crate::paxos::{PaxosMsg, Replica, SmrOutput};
+use crate::paxos::{Ballot, PaxosMsg, Replica, SmrOutput};
 use flexcast_telemetry::Telemetry;
 
 /// One replica of a replicated group, generic over the engine.
@@ -49,6 +49,15 @@ pub enum GroupEffect<I> {
     /// emitted only by the leader. The payload is engine-specific and
     /// produced by the `apply` function.
     Engine(I),
+    /// Peer `to` asked for slots below our compaction marker: only a state
+    /// snapshot through slot `through` can catch it up. The host transfers
+    /// the snapshot out of band (Paxos messages never carry engine state).
+    SnapshotNeeded {
+        /// Replica that needs the snapshot.
+        to: u32,
+        /// Our compaction marker: the snapshot must cover `..through`.
+        through: u64,
+    },
 }
 
 impl<E, I: Clone + PartialEq> ReplicatedGroup<E, I> {
@@ -116,6 +125,51 @@ impl<E, I: Clone + PartialEq> ReplicatedGroup<E, I> {
         self.drain(paxos_out, out);
     }
 
+    /// Stands for the Paxos election with an externally chosen ballot —
+    /// the handoff from ballot leader election ([`crate::ble`]). Returns
+    /// true if a campaign actually started (the ballot was ours and newer
+    /// than anything already promised).
+    pub fn handle_leader(&mut self, ballot: Ballot, out: &mut Vec<GroupEffect<I>>) -> bool {
+        let mut paxos_out = Vec::new();
+        let stood = self.replica.handle_leader(ballot, &mut paxos_out);
+        if stood {
+            self.elections += 1;
+        }
+        self.drain(paxos_out, out);
+        stood
+    }
+
+    /// Prunes the decided log prefix below `slot` (clamped to the apply
+    /// cursor). See [`Replica::compact_to`].
+    pub fn compact_to(&mut self, slot: u64) {
+        self.replica.compact_to(slot);
+    }
+
+    /// Slots below this are compacted away; laggards this far behind need
+    /// a snapshot, not replay.
+    pub fn compacted_to(&self) -> u64 {
+        self.replica.compacted_to()
+    }
+
+    /// How many committed-but-unapplied slots this replica knows about.
+    pub fn commit_lag(&self) -> u64 {
+        self.replica.commit_lag()
+    }
+
+    /// Installs a state snapshot covering slots `..through`: replaces the
+    /// engine wholesale and fast-forwards the Paxos log. Returns false (a
+    /// no-op, `engine` dropped) if we are already at or past `through` —
+    /// which makes duplicate or reordered snapshot transfers safe.
+    pub fn install_snapshot(&mut self, engine: E, through: u64) -> bool {
+        if !self.replica.install_snapshot(through) {
+            return false;
+        }
+        self.engine = engine;
+        self.emitted_up_to = through;
+        self.telemetry.counter_add("smr.snapshot_installs", 1);
+        true
+    }
+
     /// Proposes an input to the group (leader path; followers buffer).
     pub fn submit(&mut self, input: I, out: &mut Vec<GroupEffect<I>>) {
         self.proposals += 1;
@@ -144,11 +198,15 @@ impl<E, I: Clone + PartialEq> ReplicatedGroup<E, I> {
 
     fn drain(&mut self, paxos_out: Vec<SmrOutput<I>>, out: &mut Vec<GroupEffect<I>>) {
         for o in paxos_out {
-            if let SmrOutput::Send { to, msg } = o {
-                out.push(GroupEffect::Replication { to, msg });
+            match o {
+                SmrOutput::Send { to, msg } => out.push(GroupEffect::Replication { to, msg }),
+                SmrOutput::SnapshotNeeded { to, through } => {
+                    out.push(GroupEffect::SnapshotNeeded { to, through })
+                }
+                // Committed outputs are consumed via take_committed below
+                // so application happens in gap-free slot order.
+                SmrOutput::Committed { .. } => {}
             }
-            // Committed outputs are consumed via take_committed below so
-            // application happens in gap-free slot order.
         }
         let leader = self.replica.is_leader();
         for cmd in self.replica.take_committed() {
@@ -194,6 +252,9 @@ mod tests {
                     emitted.extend(route(groups, to, next));
                 }
                 GroupEffect::Engine(v) => emitted.push(v),
+                GroupEffect::SnapshotNeeded { .. } => {
+                    unreachable!("no compaction in these tests")
+                }
             }
         }
         emitted

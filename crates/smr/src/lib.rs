@@ -9,6 +9,9 @@
 //!
 //! * [`Replica`] — a sans-io Paxos replica: ballots, prepare/promise,
 //!   accept/accepted, commit learning, and leader election on timeout.
+//! * [`BallotLeaderElection`] — an Omni-Paxos-style heartbeat-round
+//!   leader oracle that elects exactly one stable leader whenever some
+//!   replica is quorum-connected, feeding [`Replica::handle_leader`].
 //! * [`ReplicatedGroup`] — glues a quorum of replicas to any deterministic
 //!   group engine (e.g. `flexcast_core::FlexCastGroup`): inputs are
 //!   proposed as commands, and each replica applies the committed command
@@ -21,8 +24,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ble;
 pub mod group;
 pub mod paxos;
 
+pub use ble::{BallotLeaderElection, BleMsg, BleOutput};
 pub use group::{GroupEffect, ReplicatedGroup};
 pub use paxos::{Ballot, PaxosMsg, Replica, SmrOutput};

@@ -77,6 +77,9 @@ pub enum PaxosMsg<C> {
     /// Gap-fill request: the sender is missing commits at or above
     /// `from_slot` and asks the receiver to re-send its `Learn`s. Used by
     /// the repair path after message loss (partitions, crashed leaders).
+    /// A receiver that already compacted past `from_slot` answers the
+    /// compacted prefix with [`SmrOutput::SnapshotNeeded`] instead of
+    /// replaying history it no longer holds.
     LearnReq {
         /// First slot the requester is missing.
         from_slot: u64,
@@ -100,6 +103,17 @@ pub enum SmrOutput<C> {
         slot: u64,
         /// The committed command.
         cmd: C,
+    },
+    /// Peer `to` asked for commits below this replica's compaction marker
+    /// ([`Replica::compact_to`]): the log below `through` is gone, so the
+    /// wrapper must ship a state snapshot covering slots `< through`
+    /// instead of `Learn` replays.
+    SnapshotNeeded {
+        /// The peer that needs catching up.
+        to: u32,
+        /// The compaction marker: the snapshot must cover all slots below
+        /// this.
+        through: u64,
     },
 }
 
@@ -132,6 +146,9 @@ pub struct Replica<C> {
     next_slot: u64,
     /// Next slot to hand to the application.
     apply_at: u64,
+    /// Compacted-prefix marker: slots below this have been pruned from
+    /// `committed`/`accepted` and are only recoverable via state snapshot.
+    compacted_to: u64,
     /// Commands waiting for a leader (buffered on followers/candidates).
     backlog: Vec<C>,
 }
@@ -152,6 +169,7 @@ impl<C: Clone + PartialEq> Replica<C> {
             committed: BTreeMap::new(),
             next_slot: 0,
             apply_at: 0,
+            compacted_to: 0,
             backlog: Vec::new(),
         }
     }
@@ -176,6 +194,67 @@ impl<C: Clone + PartialEq> Replica<C> {
         self.committed.range(self.apply_at..).count()
     }
 
+    /// Next slot to hand to the application (everything below is applied).
+    pub fn apply_cursor(&self) -> u64 {
+        self.apply_at
+    }
+
+    /// The compacted-prefix marker: slots below it were pruned by
+    /// [`Replica::compact_to`] (or skipped by
+    /// [`Replica::install_snapshot`]) and can only be recovered via state
+    /// snapshot.
+    pub fn compacted_to(&self) -> u64 {
+        self.compacted_to
+    }
+
+    /// How far the committed log this replica *knows about* runs ahead of
+    /// what it has applied: `(highest committed slot + 1) − apply cursor`.
+    /// A rejoining replica learns the head via the leader's `Learn`
+    /// heartbeat, so a large lag is the trigger for snapshot catch-up
+    /// instead of slot-by-slot replay.
+    pub fn commit_lag(&self) -> u64 {
+        self.committed
+            .keys()
+            .next_back()
+            .map_or(0, |&max| (max + 1).saturating_sub(self.apply_at))
+    }
+
+    /// Prunes the log below `slot` (clamped to the apply cursor: only
+    /// slots already handed to the application may be compacted away) and
+    /// advances the compacted-prefix marker. After compaction, a
+    /// [`PaxosMsg::LearnReq`] below the marker is answered with
+    /// [`SmrOutput::SnapshotNeeded`] — never with `Learn` replays.
+    pub fn compact_to(&mut self, slot: u64) {
+        let upto = slot.min(self.apply_at);
+        if upto <= self.compacted_to {
+            return;
+        }
+        self.compacted_to = upto;
+        self.committed = self.committed.split_off(&upto);
+        self.accepted = self.accepted.split_off(&upto);
+        self.tally = self.tally.split_off(&upto);
+    }
+
+    /// Fast-forwards this replica past slots `< through` after installing
+    /// a state snapshot that covers them: the apply cursor jumps to
+    /// `through`, the skipped prefix is dropped, and the compaction marker
+    /// advances (this replica can no longer serve the prefix either).
+    /// No-op when the snapshot is stale (`through` at or below the apply
+    /// cursor), so duplicate or reordered snapshot deliveries are safe.
+    /// Returns true iff the snapshot was actually installed.
+    pub fn install_snapshot(&mut self, through: u64) -> bool {
+        if through <= self.apply_at {
+            return false;
+        }
+        self.apply_at = through;
+        self.compacted_to = self.compacted_to.max(through);
+        self.next_slot = self.next_slot.max(through);
+        self.committed = self.committed.split_off(&through);
+        self.accepted = self.accepted.split_off(&through);
+        self.tally = self.tally.split_off(&through);
+        true
+    }
+
     fn quorum(&self) -> usize {
         (self.n as usize / 2) + 1
     }
@@ -187,11 +266,30 @@ impl<C: Clone + PartialEq> Replica<C> {
     /// Starts (or retries) an election with a ballot above everything seen.
     /// Drive this from an election timeout.
     pub fn start_election(&mut self, out: &mut Vec<SmrOutput<C>>) {
-        let round = self.promised.round + 1;
-        self.my_ballot = Ballot {
-            round,
+        let ballot = Ballot {
+            round: self.promised.round + 1,
             owner: self.id,
         };
+        self.stand_with(ballot, out);
+    }
+
+    /// Handles a `Leader` event from a ballot-leader-election component
+    /// ([`crate::ble::BallotLeaderElection`]): if the elected ballot is
+    /// ours and higher than anything promised, stand for Paxos election
+    /// *with that ballot*, so the BLE total order and the Paxos ballot
+    /// order coincide. Events about other owners — or stale ballots from
+    /// before a demotion — are ignored (the new leader's `Prepare` is what
+    /// demotes us). Returns true iff an election was actually started.
+    pub fn handle_leader(&mut self, ballot: Ballot, out: &mut Vec<SmrOutput<C>>) -> bool {
+        if ballot.owner != self.id || ballot <= self.promised {
+            return false;
+        }
+        self.stand_with(ballot, out);
+        true
+    }
+
+    fn stand_with(&mut self, ballot: Ballot, out: &mut Vec<SmrOutput<C>>) {
+        self.my_ballot = ballot;
         self.promised = self.my_ballot;
         self.role = Role::Candidate {
             promises: BTreeSet::from([self.id]),
@@ -347,6 +445,9 @@ impl<C: Clone + PartialEq> Replica<C> {
                 }
             }
             PaxosMsg::Accept { ballot, slot, cmd } => {
+                if slot < self.compacted_to {
+                    return; // decided and compacted away: nothing to log
+                }
                 if ballot >= self.promised {
                     self.promised = ballot;
                     if ballot.owner != self.id {
@@ -360,18 +461,35 @@ impl<C: Clone + PartialEq> Replica<C> {
                 }
             }
             PaxosMsg::Accepted { ballot, slot } => {
+                if slot < self.compacted_to {
+                    return; // late vote for a slot compacted after commit
+                }
                 if self.role == Role::Leader && ballot == self.my_ballot {
                     self.tally.entry(slot).or_default().insert(from);
                     self.maybe_commit(slot, out);
                 }
             }
             PaxosMsg::Learn { slot, cmd } => {
+                if slot < self.apply_at {
+                    return; // already applied (or covered by a snapshot)
+                }
                 if let std::collections::btree_map::Entry::Vacant(e) = self.committed.entry(slot) {
                     e.insert(cmd.clone());
                     out.push(SmrOutput::Committed { slot, cmd });
                 }
             }
             PaxosMsg::LearnReq { from_slot } => {
+                // The compacted prefix cannot be replayed slot-by-slot:
+                // flag it for state transfer. Everything at or above the
+                // marker still replays as plain Learns, so a requester
+                // slightly below the marker converges via snapshot +
+                // replay of the retained tail.
+                if from_slot < self.compacted_to {
+                    out.push(SmrOutput::SnapshotNeeded {
+                        to: from,
+                        through: self.compacted_to,
+                    });
+                }
                 for (&slot, cmd) in self.committed.range(from_slot..) {
                     out.push(SmrOutput::Send {
                         to: from,
@@ -778,6 +896,141 @@ mod tests {
         let mut f = Vec::new();
         rs[1].repair(&mut f);
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn handle_leader_stands_with_the_ble_ballot() {
+        let mut r = Replica::<Cmd>::new(1, 3);
+        let mut out = Vec::new();
+        let ballot = Ballot { round: 9, owner: 1 };
+        assert!(r.handle_leader(ballot, &mut out));
+        assert_eq!(r.promised(), ballot, "campaigns with the BLE ballot");
+        assert_eq!(
+            out.iter()
+                .filter(|o| matches!(
+                    o,
+                    SmrOutput::Send {
+                        msg: PaxosMsg::Prepare { .. },
+                        ..
+                    }
+                ))
+                .count(),
+            2,
+            "prepares go to both peers"
+        );
+        // A quorum of promises makes it leader under that exact ballot.
+        let mut out2 = Vec::new();
+        r.on_message(
+            0,
+            PaxosMsg::Promise {
+                ballot,
+                accepted: vec![],
+            },
+            &mut out2,
+        );
+        assert!(r.is_leader());
+    }
+
+    #[test]
+    fn handle_leader_ignores_foreign_and_stale_ballots() {
+        let mut r = Replica::<Cmd>::new(1, 3);
+        let mut out = Vec::new();
+        // Someone else's election is not ours to run.
+        assert!(!r.handle_leader(Ballot { round: 5, owner: 2 }, &mut out));
+        assert!(out.is_empty());
+        // After promising higher, a stale BLE ballot must not regress.
+        r.on_message(
+            2,
+            PaxosMsg::Prepare {
+                ballot: Ballot { round: 8, owner: 2 },
+            },
+            &mut out,
+        );
+        let promised = r.promised();
+        assert!(!r.handle_leader(Ballot { round: 7, owner: 1 }, &mut out));
+        assert_eq!(r.promised(), promised);
+    }
+
+    #[test]
+    fn compaction_prunes_applied_prefix_only() {
+        let mut rs = cluster(3);
+        let mut net = Net::new(8, 0.0, 0.0);
+        elect(0, &mut rs, &mut net);
+        for v in [1, 2, 3, 4] {
+            let mut outs = Vec::new();
+            rs[0].propose(v, &mut outs);
+            net.push_outputs(0, outs);
+        }
+        net.run(&mut rs);
+        // Nothing applied yet: compaction is clamped to the apply cursor.
+        rs[0].compact_to(4);
+        assert_eq!(rs[0].compacted_to(), 0);
+        assert_eq!(rs[0].take_committed(), vec![1, 2, 3, 4]);
+        // Applied: now the prefix can go.
+        rs[0].compact_to(3);
+        assert_eq!(rs[0].compacted_to(), 3);
+        // Compaction never regresses.
+        rs[0].compact_to(1);
+        assert_eq!(rs[0].compacted_to(), 3);
+    }
+
+    #[test]
+    fn learnreq_below_marker_yields_snapshot_not_replay() {
+        let mut rs = cluster(3);
+        let mut net = Net::new(9, 0.0, 0.0);
+        elect(0, &mut rs, &mut net);
+        for v in [1, 2, 3, 4] {
+            let mut outs = Vec::new();
+            rs[0].propose(v, &mut outs);
+            net.push_outputs(0, outs);
+        }
+        net.run(&mut rs);
+        assert_eq!(rs[0].take_committed(), vec![1, 2, 3, 4]);
+        rs[0].compact_to(3);
+
+        let mut reply = Vec::new();
+        rs[0].on_message(2, PaxosMsg::LearnReq { from_slot: 0 }, &mut reply);
+        // The compacted prefix is flagged for state transfer...
+        assert!(
+            reply.contains(&SmrOutput::SnapshotNeeded { to: 2, through: 3 }),
+            "got {reply:?}"
+        );
+        // ...and zero Learns replay below the marker; the retained tail
+        // still replays normally.
+        let learn_slots: Vec<u64> = reply
+            .iter()
+            .filter_map(|o| match o {
+                SmrOutput::Send {
+                    msg: PaxosMsg::Learn { slot, .. },
+                    ..
+                } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(learn_slots, vec![3], "only the uncompacted tail replays");
+    }
+
+    #[test]
+    fn install_snapshot_fast_forwards_and_dedups() {
+        let mut r = Replica::<Cmd>::new(2, 3);
+        let mut sink = Vec::new();
+        // A rejoiner hears the leader's Learn heartbeat far ahead.
+        r.on_message(0, PaxosMsg::Learn { slot: 9, cmd: 10 }, &mut sink);
+        assert_eq!(r.commit_lag(), 10);
+        assert!(r.install_snapshot(8));
+        assert_eq!(r.apply_cursor(), 8);
+        assert_eq!(r.compacted_to(), 8);
+        // The retained head applies in order right after the jump.
+        r.on_message(0, PaxosMsg::Learn { slot: 8, cmd: 9 }, &mut sink);
+        assert_eq!(r.take_committed(), vec![9, 10]);
+        // Duplicate and stale snapshots are no-ops.
+        assert!(!r.install_snapshot(8));
+        assert!(!r.install_snapshot(3));
+        assert_eq!(r.apply_cursor(), 10);
+        // Late Learns below the cursor are dropped, not re-committed.
+        let mut out = Vec::new();
+        r.on_message(0, PaxosMsg::Learn { slot: 1, cmd: 2 }, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

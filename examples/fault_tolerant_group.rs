@@ -60,6 +60,9 @@ fn settle(
                     queue.extend(next.into_iter().map(|e| (to, e)));
                 }
             }
+            GroupEffect::SnapshotNeeded { .. } => {
+                unreachable!("no compaction in this example")
+            }
         }
     }
     emitted

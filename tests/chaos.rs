@@ -5,13 +5,15 @@
 //! seed.
 
 use flexcast_chaos::{
-    apply_event, run_adversary, run_schedule, scenarios, FaultSchedule, ScheduleAdversary,
+    apply_event, run_adversary, run_schedule, scenarios, Adversary, FaultCtx, FaultSchedule,
+    ScheduleAdversary,
 };
 use flexcast_harness::replicated::{
-    build_world, collect, group_of, replica_pid, ReplNode, ReplicatedConfig, ReplicatedResult,
+    build_world, collect, group_of, replica_pid, ElectionMode, ReplEngine, ReplNode, ReplSnapshot,
+    ReplicatedConfig, ReplicatedResult,
 };
 use flexcast_overlay::LatencyMatrix;
-use flexcast_sim::{ProcessId, SimTime};
+use flexcast_sim::{Observation, ProcessId, SimTime};
 use flexcast_types::{GroupId, MsgId};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -350,6 +352,275 @@ fn gc_flushes_stay_consistent_under_a_leader_kill() {
         assert_eq!(
             restored.delivered_count(),
             rep.state().engine().delivered_count()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ballot leader election + snapshot catch-up (DESIGN.md §11).
+// ---------------------------------------------------------------------------
+
+/// Sums the per-replica election counters of one group from a telemetry
+/// snapshot — how many times any replica of `g` stood for election.
+fn elections_of(r: &ReplicatedResult, g: u16, rf: u32) -> u64 {
+    (0..rf)
+        .map(|rp| {
+            r.metrics
+                .counters
+                .get(&format!("g{g}.r{rp}.elections"))
+                .copied()
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+/// The partial-connectivity contrast the BLE redesign exists for: one
+/// replica of group 0 goes *inbound-deaf* (it can send, but hears
+/// nothing) while the quorum stays fully connected. Under
+/// [`ElectionMode::Ble`] the deaf replica fails its heartbeat rounds,
+/// drops its candidate flag, and goes quiet — the leader never moves.
+/// Under the legacy staggered-timeout election the same replica
+/// re-suspects forever: each suspicion demotes the live leader through
+/// the deaf replica's open outbound edge, the leader re-elects, and the
+/// pair duel until the heal — a livelock measured as an election count
+/// two orders of magnitude higher for identical faults.
+#[test]
+fn inbound_deaf_replica_duels_under_timeouts_but_not_under_ble() {
+    let run_mode = |mode: ElectionMode| {
+        let mut cfg = ReplicatedConfig::small(3, 3, 11);
+        cfg.election = mode;
+        cfg.telemetry = flexcast_telemetry::Telemetry::enabled();
+        // Replica 1 of group 0 (pid 1) hears neither sibling for 24.8 s;
+        // both of its outbound edges stay open.
+        let schedule = FaultSchedule::new()
+            .block_between(200.0, 25_000.0, 0, 1)
+            .block_between(200.0, 25_000.0, 2, 1);
+        let r = run_with(&cfg, &schedule);
+        (elections_of(&r, 0, 3), r)
+    };
+
+    let (e_ble, r_ble) = run_mode(ElectionMode::Ble);
+    r_ble.check.assert_ok();
+    assert_eq!(r_ble.availability, 1.0, "BLE: every multicast completed");
+    assert!(
+        e_ble <= 4,
+        "BLE stays stable under an inbound-deaf minority, got {e_ble} elections"
+    );
+
+    let (e_to, r_to) = run_mode(ElectionMode::StaggeredTimeout);
+    // Safety holds either way — the livelock is a *liveness* failure.
+    r_to.check.assert_ok();
+    assert!(
+        e_to >= 10 * e_ble.max(1) && e_to >= 40,
+        "timeout election duels with the deaf replica: expected an \
+         election storm, got {e_to} (BLE: {e_ble})"
+    );
+}
+
+/// The ISSUE's acceptance scenario: a reactive adversary repeatedly cuts
+/// the directed edge from group 0's *current* leader to one minority
+/// sibling (quorum untouched). Each cut makes the victim overbid and win
+/// within a bounded number of heartbeat rounds, every multicast still
+/// completes, and the fired-action trace replays the execution
+/// event-for-event.
+#[test]
+fn quorum_cutter_forces_bounded_failovers_and_the_world_survives() {
+    let cfg = {
+        let mut c = ReplicatedConfig::small(3, 3, 19);
+        c.telemetry = flexcast_telemetry::Telemetry::enabled();
+        c
+    };
+    let m = matrix(3);
+    let hunt = || {
+        let mut world = build_world(&cfg, &m);
+        let mut cutter = scenarios::quorum_cutter(GroupId(0), group_pids(0, 3), 150.0, 5_000.0, 2);
+        let run = run_adversary(&mut world, &mut cutter, MAX_EVENTS);
+        let r = collect(&cfg, &world);
+        (r, run, cutter)
+    };
+    let (r, run, cutter) = hunt();
+    r.check.assert_ok();
+    assert_eq!(r.availability, 1.0, "every multicast completed");
+    assert_eq!(cutter.remaining(), 0, "both cuts found a leader to aim at");
+    let cuts = cutter.cuts();
+    assert_eq!(cuts.len(), 2);
+    // The second cut answers the election the first one forced: the gap
+    // between them is the failover time, bounded by a handful of
+    // heartbeat rounds (hb_delay 4 ticks × 40 ms ≈ 160 ms per round).
+    let takeover_ms = cuts[1].0.as_ms() - cuts[0].0.as_ms();
+    assert!(
+        (150.0..2_000.0).contains(&takeover_ms),
+        "takeover took {takeover_ms} ms — not a bounded BLE failover"
+    );
+    // The cuts aimed at two different leaders of the same group.
+    assert_ne!(cuts[0].1, cuts[1].1, "second cut hit the *new* leader");
+    // Election rounds stayed bounded for the connected majority: the
+    // typical leaderless gap is a couple of heartbeat rounds. (The max
+    // legitimately includes partition *span* — a replica with both its
+    // roundtrips severed stays leaderless until the heal, by design.)
+    let rounds = r
+        .metrics
+        .histograms
+        .get("smr.election_rounds")
+        .expect("election rounds recorded");
+    assert!(rounds.count >= 9, "every replica recorded its gaps");
+    assert!(
+        rounds.p50 <= 8,
+        "typical election took {} heartbeat rounds",
+        rounds.p50
+    );
+
+    // Deterministic: the same seed reproduces the same cuts…
+    let (r2, run2, _) = hunt();
+    assert_eq!(run.actions, run2.actions);
+    assert_eq!(trace_ids(&r), trace_ids(&r2));
+    // …and the fired-action trace *is* a schedule that replays the run.
+    let mut world3 = build_world(&cfg, &m);
+    run_schedule(&mut world3, &run.to_schedule(), MAX_EVENTS);
+    let r3 = collect(&cfg, &world3);
+    assert_eq!(r.events, r3.events);
+    assert_eq!(trace_ids(&r), trace_ids(&r3));
+    assert_eq!(r.replica_logs, r3.replica_logs);
+}
+
+/// Snapshot catch-up acceptance: a follower of group 0 is crashed long
+/// enough that the live quorum commits — and *compacts away* — far more
+/// history than the catch-up threshold. On rejoin the victim must come
+/// back via a sibling snapshot (the log below the compaction marker no
+/// longer exists to replay), end in lockstep, and its post-recovery
+/// snapshot must round-trip bit-for-bit.
+#[test]
+fn rejoined_replica_catches_up_by_snapshot_not_replay() {
+    let mut cfg = ReplicatedConfig::small(3, 3, 27);
+    cfg.msgs_per_client = 12;
+    cfg.catch_up_lag = 8; // compact aggressively so the gap exceeds it
+    cfg.telemetry = flexcast_telemetry::Telemetry::enabled();
+    let m = matrix(3);
+
+    let mut world = build_world(&cfg, &m);
+    let mut hunter = scenarios::rejoin_hunter(GroupId(0), group_pids(0, 3), 250.0, 6_000.0);
+    run_adversary(&mut world, &mut hunter, MAX_EVENTS);
+    let (_, victim) = hunter.kill().expect("the follower kill fired");
+    assert_eq!(group_of(victim, 3), GroupId(0));
+
+    let r = collect(&cfg, &world);
+    r.check.assert_ok();
+    assert_eq!(r.availability, 1.0, "the quorum never stopped");
+
+    // Every group-0 replica pruned its log: the prefix the victim missed
+    // is simply gone, so LearnReq replay from the gap was impossible.
+    for &pid in &group_pids(0, 3) {
+        let ReplNode::Replica(a) = world.actor(pid) else {
+            panic!("replica pids come first");
+        };
+        assert!(
+            a.replication().compacted_to() > 0,
+            "compaction engaged on pid {pid}"
+        );
+    }
+    let ReplNode::Replica(v) = world.actor(victim) else {
+        panic!("victim is a replica");
+    };
+    assert!(
+        v.snapshot_installs >= 1,
+        "the victim recovered via snapshot transfer, not replay"
+    );
+    // Telemetry saw the transfer from both ends.
+    assert!(r.metrics.counters.get("smr.snapshot_installs").copied() >= Some(1));
+    let bytes = r
+        .metrics
+        .histograms
+        .get("smr.catch_up_bytes")
+        .expect("transfer size recorded");
+    assert!(bytes.count >= 1 && bytes.min > 0);
+
+    // Post-recovery replica snapshot round-trips bit-for-bit: engine,
+    // dedup set, channel cursors, held packets, outbox, delivery log.
+    let snap = v.state().to_snapshot();
+    let wire = flexcast_wire::to_bytes(&snap).expect("snapshot encodes");
+    let decoded: ReplSnapshot = flexcast_wire::from_bytes(&wire).expect("snapshot decodes");
+    let restored = ReplEngine::from_snapshot(decoded, cfg.order.clone()).expect("state restores");
+    assert_eq!(
+        flexcast_wire::to_bytes(&restored.to_snapshot()).expect("re-encode"),
+        wire,
+        "post-recovery snapshot did not round-trip bit-for-bit"
+    );
+}
+
+/// Wraps any adversary and records every observation the world publishes,
+/// so tests can audit the leadership event stream itself.
+struct Recording<A> {
+    inner: A,
+    seen: Vec<Observation>,
+}
+
+impl<A: Adversary> Adversary for Recording<A> {
+    fn on_start(&mut self, ctx: &mut FaultCtx) {
+        self.inner.on_start(ctx);
+    }
+    fn on_observation(&mut self, obs: &Observation, ctx: &mut FaultCtx) {
+        self.seen.push(*obs);
+        self.inner.on_observation(obs, ctx);
+    }
+}
+
+/// Regression for the leadership observation stream: `LeaderLost` fires
+/// exactly once per loss — never unpaired, never double — and the stream
+/// ends in agreement with each replica's actual state. The symmetric
+/// hazard to the restart re-announce fix: a leader that crashes, rejoins
+/// still believing, re-announces, and is then demoted must publish the
+/// demotion (before the `on_start` re-announce, `was_leader` was reset to
+/// `false` on restart and the subsequent demotion was swallowed, leaving
+/// the stream claiming leadership the replica no longer held).
+#[test]
+fn leadership_observations_pair_up_through_crash_rejoin_demote() {
+    let cfg = ReplicatedConfig::small(3, 3, 7);
+    let m = matrix(3);
+    let mut world = build_world(&cfg, &m);
+    // Two leader kills with slow recovery: each victim rejoins holding a
+    // stale claim, re-announces, and gets demoted by the new leader.
+    let mut rec = Recording {
+        inner: scenarios::leader_hunter(GroupId(0), 250.0, 2).down_ms(1_200.0),
+        seen: Vec::new(),
+    };
+    run_adversary(&mut world, &mut rec, MAX_EVENTS);
+    assert_eq!(rec.inner.kills().len(), 2, "both kills fired");
+    collect(&cfg, &world).check.assert_ok();
+
+    // Replay the stream through a per-pid believed-leadership machine.
+    // Consecutive `LeaderElected` without a `Lost` between them is legal
+    // (a crash publishes nothing; the restart re-announce follows one),
+    // but `LeaderLost` must always land on a believed leader.
+    let mut believed: std::collections::BTreeMap<ProcessId, bool> = Default::default();
+    let mut losses = 0u32;
+    for obs in &rec.seen {
+        match obs {
+            Observation::LeaderElected { pid, .. } => {
+                believed.insert(*pid, true);
+            }
+            Observation::LeaderLost { pid, at, .. } => {
+                assert!(
+                    believed.get(pid).copied().unwrap_or(false),
+                    "unpaired LeaderLost for pid {pid} at {at:?}"
+                );
+                believed.insert(*pid, false);
+                losses += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(losses >= 1, "at least one demotion was published");
+    // The stream's final claim matches reality on every replica — this is
+    // what the swallowed-demotion bug broke: the stream ended `Elected`
+    // on a replica that was actually a follower.
+    for (pid, claim) in believed {
+        let ReplNode::Replica(a) = world.actor(pid) else {
+            continue;
+        };
+        assert_eq!(
+            a.is_leader(),
+            claim,
+            "observation stream out of sync with pid {pid}"
         );
     }
 }

@@ -46,6 +46,9 @@ fn settle(cluster: &mut Cluster, from: u32, effects: Vec<GroupEffect<Cmd>>) -> V
                 GroupEffect::Engine(Cmd::Client(m)) => emitted.push(Fx::Deliver(m.id)),
                 GroupEffect::Engine(Cmd::Peer(to, pkt)) => emitted.push(Fx::Send(to, pkt)),
                 GroupEffect::Replication { to, msg } => queue.push((src, to, msg)),
+                GroupEffect::SnapshotNeeded { .. } => {
+                    unreachable!("no compaction in these tests")
+                }
             }
         }
     };

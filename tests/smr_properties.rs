@@ -7,7 +7,10 @@
 use flexcast_core::{FlexCastGroup, Output, Packet};
 use flexcast_harness::replicated::{apply_cmd, ReplCmd, ReplEngine};
 use flexcast_overlay::CDagOrder;
-use flexcast_smr::{GroupEffect, PaxosMsg, Replica, ReplicatedGroup, SmrOutput};
+use flexcast_smr::{
+    BallotLeaderElection, BleMsg, BleOutput, GroupEffect, PaxosMsg, Replica, ReplicatedGroup,
+    SmrOutput,
+};
 use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId, Payload};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -63,6 +66,9 @@ impl Net {
                         prev.is_none() || prev == Some(cmd),
                         "replica {from} re-committed slot {slot} with a different command"
                     );
+                }
+                SmrOutput::SnapshotNeeded { .. } => {
+                    unreachable!("no compaction in these properties")
                 }
             }
         }
@@ -478,6 +484,131 @@ proptest! {
                 "group {} delivery order diverged",
                 g
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part 4: ballot leader election under arbitrary directed link blocks
+// (DESIGN.md §11). A replica is *majority-roundtrip-connected* when a
+// majority of replicas (itself included) can both receive its heartbeat
+// requests and get replies back to it. BLE must elect exactly where such
+// majorities exist: connected replicas settle on a leader, cut-off
+// replicas go dark (no dueling-candidates livelock), and distinct stable
+// self-leaders can only coexist across a broken roundtrip — so with full
+// connectivity the leader is unique.
+// ---------------------------------------------------------------------------
+
+/// One global tick of an instantly-delivered BLE network: every replica
+/// closes/opens its heartbeat round, then all traffic — requests and the
+/// replies they trigger — routes to quiescence, dropping blocked edges.
+fn ble_tick(nodes: &mut [BallotLeaderElection], blocked: &BTreeSet<(u32, u32)>) {
+    let mut wire: Vec<(u32, u32, BleMsg)> = Vec::new();
+    for node in nodes.iter_mut() {
+        let mut out = Vec::new();
+        node.on_tick(&mut out);
+        let from = node.pid();
+        for o in out {
+            if let BleOutput::Send { to, msg } = o {
+                wire.push((from, to, msg));
+            }
+        }
+    }
+    while let Some((from, to, msg)) = wire.pop() {
+        if blocked.contains(&(from, to)) {
+            continue;
+        }
+        let mut out = Vec::new();
+        nodes[to as usize].on_message(from, msg, &mut out);
+        for o in out {
+            if let BleOutput::Send { to: t2, msg } = o {
+                wire.push((to, t2, msg));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Arbitrary static directed block patterns over 3–5 replicas: after
+    /// the rounds settle, every replica holds a leader belief iff it is
+    /// majority-roundtrip-connected, every believed leader is itself
+    /// electable, beliefs and ballots are stable (no livelock under a
+    /// static topology), and no two stable self-leaders can hear each
+    /// other.
+    #[test]
+    fn ble_elects_exactly_where_majorities_can_roundtrip(
+        n in 3u32..=5,
+        raw_edges in collection::vec(0u32..25, 0..=18),
+    ) {
+        // Decode edge indices into directed blocks over the n replicas.
+        let blocked: BTreeSet<(u32, u32)> = raw_edges
+            .into_iter()
+            .map(|e| (e / 5, e % 5))
+            .filter(|&(a, b)| a != b && a < n && b < n)
+            .collect();
+        let roundtrip = |p: u32, q: u32| {
+            p == q || (!blocked.contains(&(p, q)) && !blocked.contains(&(q, p)))
+        };
+        let majority = (n / 2 + 1) as usize;
+        let connected: Vec<bool> = (0..n)
+            .map(|p| (0..n).filter(|&q| roundtrip(p, q)).count() >= majority)
+            .collect();
+
+        let mut nodes: Vec<BallotLeaderElection> = (0..n)
+            .map(|p| BallotLeaderElection::new(p, n, 1, 1))
+            .collect();
+        for _ in 0..40 {
+            ble_tick(&mut nodes, &blocked);
+        }
+        let settled: Vec<_> = nodes.iter().map(|b| b.leader()).collect();
+        let ballots: Vec<_> = nodes.iter().map(|b| b.current_ballot()).collect();
+
+        // Stability: a static topology means static beliefs and static
+        // ballots — no flapping, no overbid churn, no livelock.
+        for _ in 0..20 {
+            ble_tick(&mut nodes, &blocked);
+        }
+        let later: Vec<_> = nodes.iter().map(|b| b.leader()).collect();
+        prop_assert_eq!(&settled, &later, "beliefs flapped under a static topology");
+        let later_ballots: Vec<_> = nodes.iter().map(|b| b.current_ballot()).collect();
+        prop_assert_eq!(&ballots, &later_ballots, "ballots grew under a static topology");
+
+        for p in 0..n as usize {
+            // Leader belief iff the replica's own majority can roundtrip:
+            // cut-off minorities go dark instead of dueling.
+            prop_assert_eq!(
+                settled[p].is_some(),
+                connected[p],
+                "replica {} has belief {:?} but connected={} (blocked: {:?})",
+                p, settled[p], connected[p], &blocked
+            );
+            // Every believed leader earned its candidacy with completed
+            // rounds of its own.
+            if let Some(l) = settled[p] {
+                prop_assert!(
+                    connected[l.owner as usize],
+                    "replica {} follows unelectable {:?} (blocked: {:?})",
+                    p, l, &blocked
+                );
+            }
+        }
+
+        // Never two stable leaders in the same partition: if two replicas
+        // both stably believe in themselves, the lower ballot would have
+        // followed the higher the moment a roundtrip existed between them.
+        let self_leaders: Vec<u32> = (0..n)
+            .filter(|&p| settled[p as usize].is_some_and(|l| l.owner == p))
+            .collect();
+        for (i, &p) in self_leaders.iter().enumerate() {
+            for &q in &self_leaders[i + 1..] {
+                prop_assert!(
+                    !roundtrip(p, q),
+                    "stable leaders {} and {} hear each other (blocked: {:?})",
+                    p, q, &blocked
+                );
+            }
         }
     }
 }
