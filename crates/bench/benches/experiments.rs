@@ -26,6 +26,7 @@ fn short(protocol: ProtocolKind, locality: f64, mode: WorkloadMode) -> Experimen
         server_processing_ms: 20.0,
         advert_stride: Some(16),
         telemetry: Telemetry::disabled(),
+        shards: 0,
     }
 }
 

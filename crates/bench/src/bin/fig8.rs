@@ -56,6 +56,7 @@ fn main() {
             server_processing_ms: 20.0,
             advert_stride: None,
             telemetry: Telemetry::disabled(),
+            shards: 0,
         };
         let result = run(&cfg);
         result.check.assert_ok();

@@ -51,6 +51,7 @@ fn main() {
                         server_processing_ms: 20.0,
                         advert_stride: None,
                         telemetry: Telemetry::disabled(),
+                        shards: 0,
                     };
                     let r = run(&cfg);
                     runs += 1;
@@ -88,6 +89,7 @@ fn main() {
                 server_processing_ms: 20.0,
                 advert_stride: None,
                 telemetry: Telemetry::disabled(),
+                shards: 0,
             };
             let r = run(&cfg);
             runs += 1;

@@ -23,7 +23,7 @@
 //! acks carry the prompting notifier (`via`), and `can-deliver` requires
 //! one ack per pair rather than one per group.
 
-use crate::history::{History, HistoryDelta, MergeStats, MsgRef};
+use crate::history::{History, HistoryDelta, MergeStats, MsgRef, NO_WATERMARK};
 use crate::packet::{NotifPair, Packet};
 use flexcast_telemetry::Telemetry;
 use flexcast_types::{ClientId, DestSet, GroupId, Message, MsgId, Watermarks};
@@ -150,10 +150,14 @@ pub struct FlexCastGroup {
     advert_sent_clients: Vec<BTreeMap<ClientId, u32>>,
     advert_sent_edges: Vec<BTreeMap<GroupId, u32>>,
     /// Per-descendant view of the watermarks it advertised to us
-    /// (max-merged — advertisements are monotone), indexed by rank.
-    /// `diff_hst` filters outgoing deltas against these.
-    advertised_clients: Vec<BTreeMap<ClientId, u32>>,
-    advertised_edges: Vec<BTreeMap<GroupId, u32>>,
+    /// (max-merged — advertisements are monotone), indexed by rank. The
+    /// inner vectors are dense (`advertised_clients[d][client]`,
+    /// `advertised_edges[d][creator rank]`, `NO_WATERMARK` = no advert):
+    /// `diff_hst` probes them once per candidate log entry, the single
+    /// hottest lookup in a large world, so they use the same dense
+    /// representation as the history's own watermarks.
+    advertised_clients: Vec<Vec<u32>>,
+    advertised_edges: Vec<Vec<u32>>,
     /// Advertisement / suppression counters.
     sup: SuppressionStats,
 }
@@ -186,8 +190,8 @@ impl FlexCastGroup {
             advert_mark: vec![0; n as usize],
             advert_sent_clients: vec![BTreeMap::new(); n as usize],
             advert_sent_edges: vec![BTreeMap::new(); n as usize],
-            advertised_clients: vec![BTreeMap::new(); n as usize],
-            advertised_edges: vec![BTreeMap::new(); n as usize],
+            advertised_clients: vec![Vec::new(); n as usize],
+            advertised_edges: vec![Vec::new(); n as usize],
             sup: SuppressionStats::default(),
         }
     }
@@ -443,15 +447,23 @@ impl FlexCastGroup {
         self.sup.adverts_received += 1;
         let di = from.index();
         for (c, w) in wm.clients {
-            let e = self.advertised_clients[di].entry(c).or_insert(w);
-            if *e < w {
-                *e = w;
+            let ci = c.0 as usize;
+            let v = &mut self.advertised_clients[di];
+            if ci >= v.len() {
+                v.resize(ci + 1, NO_WATERMARK);
+            }
+            if v[ci] == NO_WATERMARK || v[ci] < w {
+                v[ci] = w;
             }
         }
         for (g, w) in wm.edges {
-            let e = self.advertised_edges[di].entry(g).or_insert(w);
-            if *e < w {
-                *e = w;
+            let gi = g.index();
+            let v = &mut self.advertised_edges[di];
+            if gi >= v.len() {
+                v.resize(gi + 1, NO_WATERMARK);
+            }
+            if v[gi] == NO_WATERMARK || v[gi] < w {
+                v[gi] = w;
             }
         }
     }
@@ -479,7 +491,7 @@ impl FlexCastGroup {
             }
             self.advert_mark[ui] = total;
             let mut wm = Watermarks::default();
-            for (&c, &w) in self.hst.client_watermarks() {
+            for (c, w) in self.hst.client_watermarks() {
                 if self.advert_sent_clients[ui].get(&c) != Some(&w) {
                     wm.clients.push((c, w));
                 }
@@ -776,14 +788,19 @@ impl FlexCastGroup {
             let mut sup_v = 0u64;
             let mut sup_e = 0u64;
             for v in verts {
-                if cwm.get(&v.id.sender).is_some_and(|&w| v.id.seq <= w) {
+                let w = cwm
+                    .get(v.id.sender.0 as usize)
+                    .copied()
+                    .unwrap_or(NO_WATERMARK);
+                if w != NO_WATERMARK && v.id.seq <= w {
                     sup_v += 1;
                 } else {
                     kept.verts.push(*v);
                 }
             }
             for e in edges {
-                if ewm.get(&e.creator).is_some_and(|&w| e.idx <= w) {
+                let w = ewm.get(e.creator.index()).copied().unwrap_or(NO_WATERMARK);
+                if w != NO_WATERMARK && e.idx <= w {
                     sup_e += 1;
                 } else {
                     kept.edges.push(*e);
@@ -801,9 +818,17 @@ impl FlexCastGroup {
     /// `reprocess-queues` (Alg. 3 line 41): delivers queue heads until no
     /// further progress is possible.
     fn reprocess_queues(&mut self, out: &mut Vec<Output>) {
+        // Only arrivals enqueue (in `on_packet`), so within this fixpoint
+        // loop the set of non-empty queues can only shrink: computing it
+        // once turns each pass from O(rank) into O(non-empty queues).
+        // Most of a high-rank group's queues sit empty, and this scan ran
+        // on every packet in large-world profiles.
+        let mut live: Vec<usize> = (0..self.queues.len())
+            .filter(|&lca| !self.queues[lca].is_empty())
+            .collect();
         loop {
             let mut delivered = false;
-            for lca in 0..self.queues.len() {
+            for &lca in &live {
                 if let Some(&head) = self.queues[lca].front() {
                     if self.can_deliver(head) {
                         let m = self.pending[&head]
@@ -818,6 +843,7 @@ impl FlexCastGroup {
             if !delivered {
                 break;
             }
+            live.retain(|&lca| !self.queues[lca].is_empty());
         }
     }
 

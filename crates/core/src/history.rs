@@ -127,6 +127,11 @@ impl MergeStats {
     }
 }
 
+/// Sentinel for "no sequence seen yet from this client" in the dense
+/// per-client watermark. Chosen so `NO_WATERMARK.wrapping_add(1) == 0`,
+/// the first sequence a client issues.
+pub(crate) const NO_WATERMARK: u32 = u32::MAX;
+
 /// A group's history DAG (`hst` in Algorithm 1).
 ///
 /// Deterministic by construction: all internal collections are ordered
@@ -147,9 +152,10 @@ pub struct History {
     /// O(full history).
     vert_log: Vec<MsgRef>,
     edge_log: Vec<TaggedEdge>,
-    /// Number of retained vertices addressed to each group, for O(log n)
-    /// `contains_msg_to` (evaluated on every forward by `send-notifs`).
-    addressed: BTreeMap<GroupId, u32>,
+    /// Number of retained vertices addressed to each group (indexed by
+    /// group rank, grown on demand), for O(1) `contains_msg_to`
+    /// (evaluated on every forward by `send-notifs`).
+    addressed: Vec<u32>,
     /// Per-client contiguous-prefix watermark over every id this history
     /// has *ever* admitted — still retained or since pruned: all seqs
     /// `<= wm` have been seen. A group receives the same vertex from up
@@ -160,8 +166,11 @@ pub struct History {
     /// seen forever, so a stale ancestor diff can never resurrect it.
     /// Compactness comes from the closed-loop client property (a client's
     /// messages complete strictly in sequence), with a small residual set
-    /// for out-of-prefix stragglers.
-    seen_watermark: BTreeMap<flexcast_types::ClientId, u32>,
+    /// for out-of-prefix stragglers. Client ids are dense from 0, so the
+    /// watermark lives in a flat vector ([`NO_WATERMARK`] = nothing seen)
+    /// — this probe runs once per delta entry and is the single hottest
+    /// lookup in the whole simulator, so it must not pointer-chase.
+    seen_watermark: Vec<u32>,
     seen_residual: BTreeSet<MsgId>,
     /// Per-creator record of the chain-edge indices this history has
     /// *processed* — inserted, rejected as a content duplicate, or
@@ -173,8 +182,10 @@ pub struct History {
     /// set) keep memory bounded by the number of *holes*: an upstream
     /// prune can drop a stream element some receiver never got, and a
     /// residual set would then grow by one entry per subsequent edge of
-    /// that creator, forever.
-    edge_seen: BTreeMap<GroupId, Vec<(u32, u32)>>,
+    /// that creator, forever. Indexed by creator rank (grown on demand;
+    /// an empty range list means nothing processed) — like
+    /// `seen_watermark`, this is probed per delta edge.
+    edge_seen: Vec<Vec<(u32, u32)>>,
     /// Next chain index for edges created locally (`create_edge`); counts
     /// only edges actually logged, so the local creator stream is dense.
     next_edge_idx: u32,
@@ -245,27 +256,30 @@ impl History {
     }
 
     /// True if `id` was ever admitted into this history — whether still
-    /// retained or pruned since. One probe of the per-client watermark
-    /// (plus, for out-of-prefix ids, the small residual set).
+    /// retained or pruned since. One indexed load of the per-client
+    /// watermark (plus, for out-of-prefix ids, the small residual set).
     #[inline]
     pub fn has_seen(&self, id: MsgId) -> bool {
-        self.seen_watermark
-            .get(&id.sender)
-            .is_some_and(|&wm| id.seq <= wm)
-            || self.seen_residual.contains(&id)
+        let wm = self
+            .seen_watermark
+            .get(id.sender.0 as usize)
+            .copied()
+            .unwrap_or(NO_WATERMARK);
+        (wm != NO_WATERMARK && id.seq <= wm) || self.seen_residual.contains(&id)
     }
 
     /// Records `id` as seen, promoting contiguous per-client prefixes into
     /// the watermark so the residual set stays small.
     fn note_seen(&mut self, id: MsgId) {
-        let wm = self.seen_watermark.get(&id.sender).copied();
-        let next = match wm {
-            Some(w) => w.wrapping_add(1),
-            None => 0,
-        };
+        let ci = id.sender.0 as usize;
+        if ci >= self.seen_watermark.len() {
+            self.seen_watermark.resize(ci + 1, NO_WATERMARK);
+        }
+        // `NO_WATERMARK + 1` wraps to 0: a fresh client's prefix starts
+        // at sequence 0, exactly like the old `None` case.
+        let next = self.seen_watermark[ci].wrapping_add(1);
         if id.seq == next {
             let mut w = id.seq;
-            self.seen_watermark.insert(id.sender, w);
             // Absorb any residual stragglers that are now contiguous.
             loop {
                 let n = w.wrapping_add(1);
@@ -273,8 +287,8 @@ impl History {
                     break;
                 }
                 w = n;
-                self.seen_watermark.insert(id.sender, w);
             }
+            self.seen_watermark[ci] = w;
         } else {
             self.seen_residual.insert(id);
         }
@@ -282,11 +296,11 @@ impl History {
 
     /// True if the chain-edge stream element `(creator, idx)` has been
     /// processed by this history — inserted, rejected as a duplicate, or
-    /// dropped for a pruned endpoint. One map probe plus a binary search
-    /// over that creator's (almost always single-element) range list.
+    /// dropped for a pruned endpoint. One indexed load plus a binary
+    /// search over that creator's (almost always one-element) range list.
     #[inline]
     pub fn edge_processed(&self, creator: GroupId, idx: u32) -> bool {
-        self.edge_seen.get(&creator).is_some_and(|ranges| {
+        self.edge_seen.get(creator.index()).is_some_and(|ranges| {
             match ranges.binary_search_by(|&(s, _)| s.cmp(&idx)) {
                 Ok(_) => true,
                 Err(0) => false,
@@ -298,7 +312,10 @@ impl History {
     /// Records `(creator, idx)` as processed, merging into the creator's
     /// range list (extending or joining neighbors where contiguous).
     fn note_edge(&mut self, creator: GroupId, idx: u32) {
-        let ranges = self.edge_seen.entry(creator).or_default();
+        if creator.index() >= self.edge_seen.len() {
+            self.edge_seen.resize(creator.index() + 1, Vec::new());
+        }
+        let ranges = &mut self.edge_seen[creator.index()];
         let i = match ranges.binary_search_by(|&(s, _)| s.cmp(&idx)) {
             Ok(_) => return, // a range starts exactly here: covered
             Err(i) => i,
@@ -331,7 +348,10 @@ impl History {
         self.vert_log.push(v);
         self.admitted += 1;
         for g in v.dst.iter() {
-            *self.addressed.entry(g).or_insert(0) += 1;
+            if g.index() >= self.addressed.len() {
+                self.addressed.resize(g.index() + 1, 0);
+            }
+            self.addressed[g.index()] += 1;
         }
         true
     }
@@ -438,10 +458,14 @@ impl History {
     }
 
     /// The per-client vertex watermark (contiguous seen prefix per
-    /// client) — the vertex half of a [`flexcast_types::Watermarks`]
-    /// advertisement.
-    pub fn client_watermarks(&self) -> &BTreeMap<flexcast_types::ClientId, u32> {
-        &self.seen_watermark
+    /// client), in ascending client order — the vertex half of a
+    /// [`flexcast_types::Watermarks`] advertisement.
+    pub fn client_watermarks(&self) -> impl Iterator<Item = (flexcast_types::ClientId, u32)> + '_ {
+        self.seen_watermark
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != NO_WATERMARK)
+            .map(|(c, &w)| (flexcast_types::ClientId(c as u32), w))
     }
 
     /// The per-creator chain-edge watermark: for each creator whose
@@ -453,8 +477,9 @@ impl History {
     pub fn edge_prefixes(&self) -> impl Iterator<Item = (GroupId, u32)> + '_ {
         self.edge_seen
             .iter()
-            .filter_map(|(&g, ranges)| match ranges.first() {
-                Some(&(0, end)) => Some((g, end)),
+            .enumerate()
+            .filter_map(|(g, ranges)| match ranges.first() {
+                Some(&(0, end)) => Some((GroupId(g as u16), end)),
                 _ => None,
             })
     }
@@ -463,7 +488,7 @@ impl History {
     /// diagnostics): `Some(end)` if indices `0..=end` are processed.
     pub fn edge_prefix(&self, creator: GroupId) -> Option<u32> {
         self.edge_seen
-            .get(&creator)
+            .get(creator.index())
             .and_then(|ranges| match ranges.first() {
                 Some(&(0, end)) => Some(end),
                 _ => None,
@@ -510,7 +535,7 @@ impl History {
     /// True if the history has any vertex addressed to `g`
     /// (`hst.containsMsgTo`, Alg. 3 line 38).
     pub fn contains_msg_to(&self, g: GroupId) -> bool {
-        self.addressed.get(&g).copied().unwrap_or(0) > 0
+        self.addressed.get(g.index()).copied().unwrap_or(0) > 0
     }
 
     /// True if there is a directed path `from →* to` (strictly, length ≥ 1
@@ -608,10 +633,17 @@ impl History {
                 stack.extend(self.preds_of(v));
             }
         }
+        if doomed.is_empty() {
+            return Vec::new();
+        }
+        // Membership below is probed once per retained log entry; a
+        // sorted slice's binary search beats walking the tree each time.
+        let doomed_sorted: Vec<MsgId> = doomed.iter().copied().collect();
+        let is_doomed = |id: &MsgId| doomed_sorted.binary_search(id).is_ok();
         for &v in &doomed {
             if let Some(dst) = self.verts.remove(&v) {
                 for g in dst.iter() {
-                    if let Some(c) = self.addressed.get_mut(&g) {
+                    if let Some(c) = self.addressed.get_mut(g.index()) {
                         *c -= 1;
                     }
                 }
@@ -634,11 +666,7 @@ impl History {
 
         // Compact the logs and remap cursors: a new cursor counts the
         // retained entries among the old prefix it covered.
-        let vert_retained: Vec<bool> = self
-            .vert_log
-            .iter()
-            .map(|v| !doomed.contains(&v.id))
-            .collect();
+        let vert_retained: Vec<bool> = self.vert_log.iter().map(|v| !is_doomed(&v.id)).collect();
         let mut vert_prefix = vec![0usize; vert_retained.len() + 1];
         for (i, &keep) in vert_retained.iter().enumerate() {
             vert_prefix[i + 1] = vert_prefix[i] + keep as usize;
@@ -652,7 +680,7 @@ impl History {
         let edge_retained: Vec<bool> = self
             .edge_log
             .iter()
-            .map(|e| !doomed.contains(&e.before) && !doomed.contains(&e.after))
+            .map(|e| !is_doomed(&e.before) && !is_doomed(&e.after))
             .collect();
         let mut edge_prefix = vec![0usize; edge_retained.len() + 1];
         for (i, &keep) in edge_retained.iter().enumerate() {

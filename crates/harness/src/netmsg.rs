@@ -70,8 +70,24 @@ pub enum NetMsg {
 
 impl NetMsg {
     /// Exact encoded size in bytes under the workspace wire format.
+    ///
+    /// The two FlexCast variants use [`FlexPacket::encoded_size`]'s
+    /// direct field walk: they carry history deltas and are charged at
+    /// every send and receive, so the generic serde walk was a
+    /// measurable slice of large-world runs. Every other variant is
+    /// rare or small and takes the generic path. The variant indices
+    /// (`Flex` = 1, `GroupMsg` = 6) are pinned against the real codec
+    /// by `wire_size_matches_encoded_len_on_random_packets`.
     pub fn wire_size(&self) -> usize {
-        flexcast_wire::encoded_len(self).expect("net messages always encode")
+        match self {
+            NetMsg::Flex(pkt) => flexcast_wire::size_u128(1) + pkt.encoded_size(),
+            NetMsg::GroupMsg { seq, pkt } => {
+                flexcast_wire::size_u128(6)
+                    + flexcast_wire::size_u128(*seq as u128)
+                    + pkt.encoded_size()
+            }
+            _ => flexcast_wire::encoded_len(self).expect("net messages always encode"),
+        }
     }
 
     /// True for messages that carry an application payload (the paper's
@@ -118,6 +134,91 @@ mod tests {
         };
         assert!(big.wire_size() > small.wire_size() + 60);
         assert!(NetMsg::Reply { id: msg().id }.wire_size() < 16);
+    }
+
+    /// Pins the hand-rolled size walk (and the hard-coded `Flex` /
+    /// `GroupMsg` variant indices) to the real codec across randomized
+    /// packets: any drift between `encoded_size` and the serializer is a
+    /// traffic-accounting bug.
+    #[test]
+    fn wire_size_matches_encoded_len_on_random_packets() {
+        use flexcast_core::history::{HistoryDelta, MsgRef, TaggedEdge};
+        use flexcast_types::Watermarks;
+
+        // Tiny deterministic LCG: the test needs variety, not quality.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..200u32 {
+            let id = MsgId::new(ClientId(next() as u32), next() as u32);
+            let dst =
+                DestSet::from_iter((0..1 + next() % 6).map(|_| GroupId((next() % 512) as u16)));
+            let mut hist = HistoryDelta::empty();
+            for _ in 0..next() % 40 {
+                hist.verts.push(MsgRef {
+                    id: MsgId::new(ClientId(next() as u32), next() as u32),
+                    dst,
+                });
+            }
+            for _ in 0..next() % 40 {
+                hist.edges.push(TaggedEdge {
+                    creator: GroupId((next() % 512) as u16),
+                    idx: next() as u32,
+                    before: MsgId::new(ClientId(next() as u32), next() as u32),
+                    after: MsgId::new(ClientId(next() as u32), next() as u32),
+                });
+            }
+            let notif_pairs: Vec<_> = (0..next() % 5)
+                .map(|_| {
+                    (
+                        GroupId((next() % 512) as u16),
+                        GroupId((next() % 512) as u16),
+                    )
+                })
+                .collect();
+            let pkt = match round % 4 {
+                0 => FlexPacket::Msg {
+                    msg: Message::new(id, dst, Payload(vec![7u8; (next() % 300) as usize].into()))
+                        .unwrap(),
+                    notif_pairs,
+                    hist,
+                },
+                1 => FlexPacket::Ack {
+                    mref: MsgRef { id, dst },
+                    via: GroupId((next() % 512) as u16),
+                    notif_pairs,
+                    hist,
+                },
+                2 => FlexPacket::Notif {
+                    mref: MsgRef { id, dst },
+                    hist,
+                },
+                _ => FlexPacket::Advert {
+                    wm: Watermarks {
+                        clients: (0..next() % 8)
+                            .map(|_| (ClientId(next() as u32), next() as u32))
+                            .collect(),
+                        edges: (0..next() % 8)
+                            .map(|_| (GroupId((next() % 512) as u16), next() as u32))
+                            .collect(),
+                    },
+                },
+            };
+            for m in [
+                NetMsg::Flex(pkt.clone()),
+                NetMsg::GroupMsg { seq: next(), pkt },
+            ] {
+                assert_eq!(
+                    m.wire_size(),
+                    flexcast_wire::encoded_len(&m).expect("encodes"),
+                    "fast size diverged from the codec at round {round}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1317,6 +1317,10 @@ pub struct ReplicatedConfig {
     /// Telemetry handle, disabled by default. Clones share one registry
     /// and tracer; [`collect`] snapshots it into the result.
     pub telemetry: Telemetry,
+    /// Simulation shard count; `0` defers to `FLEX_SHARDS` then `1` (see
+    /// [`crate::experiment::resolve_shards`]). Delivered traces are
+    /// bit-identical at every value.
+    pub shards: usize,
 }
 
 impl ReplicatedConfig {
@@ -1345,6 +1349,7 @@ impl ReplicatedConfig {
             hb_increment: 2,
             catch_up_lag: 64,
             telemetry: Telemetry::disabled(),
+            shards: 0,
         }
     }
 }
@@ -1436,6 +1441,7 @@ pub fn build_world(cfg: &ReplicatedConfig, matrix: &LatencyMatrix) -> World<NetM
     let link = LinkModel::new(matrix.clone(), sites, cfg.jitter_ms);
     let mut world = World::new(actors, link, cfg.seed);
     world.set_telemetry(cfg.telemetry.clone());
+    world.set_shards(crate::experiment::resolve_shards(cfg.shards));
     world
 }
 

@@ -13,7 +13,7 @@ use crate::SimTime;
 
 /// Throughput counters of one simulation run, snapshotted from
 /// [`World::stats`](crate::World::stats).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SimStats {
     /// Events processed (queue pops).
     pub events: u64,
@@ -25,6 +25,9 @@ pub struct SimStats {
     pub peak_queue_depth: usize,
     /// Simulated time reached.
     pub sim_time: SimTime,
+    /// Events processed per shard, indexed by shard id. Sums to `events`;
+    /// a single entry on a sequential world.
+    pub events_by_shard: Vec<u64>,
 }
 
 impl SimStats {
@@ -50,6 +53,10 @@ impl SimStats {
     /// Publishes the counter block into a telemetry registry under the
     /// `sim.` prefix. Uses absolute sets, so re-exporting after further
     /// progress overwrites rather than double-counts.
+    ///
+    /// Per-shard counts are deliberately *not* exported: the metrics JSON
+    /// must stay byte-identical across shard counts, and `events_by_shard`
+    /// is the one field that legitimately varies with the cut.
     pub fn export_metrics(&self, tel: &Telemetry) {
         if !tel.is_enabled() {
             return;
@@ -257,6 +264,7 @@ mod tests {
             dropped_messages: 7,
             peak_queue_depth: 42,
             sim_time: SimTime::from_secs(2),
+            events_by_shard: vec![1_000],
         };
         assert_eq!(s.events_per_sec(0.5), 2_000.0);
         assert_eq!(s.msgs_per_sec(0.5), 1_000.0);
@@ -384,6 +392,7 @@ mod tests {
             dropped_messages: 1,
             peak_queue_depth: 3,
             sim_time: SimTime::from_secs(1),
+            events_by_shard: vec![6, 4],
         };
         s.export_metrics(&tel);
         s.export_metrics(&tel);

@@ -11,15 +11,20 @@ use serde::{Deserialize, Serialize};
 
 /// Maximum number of groups supported by [`DestSet`].
 ///
-/// The paper's deployments use 12 groups (one per AWS region); 128 leaves
-/// ample headroom while keeping a destination set at 16 bytes.
-pub const MAX_GROUPS: usize = 128;
+/// The paper's deployments use 12 groups (one per AWS region); 512 covers
+/// the scale sweeps' largest synthetic world while keeping a destination
+/// set a flat 64 bytes — still `Copy`, still branch-free set algebra.
+pub const MAX_GROUPS: usize = 512;
+
+/// Bitset backing width, in 64-bit words.
+const WORDS: usize = MAX_GROUPS / 64;
 
 /// A set of destination groups, `m.dst` in the paper.
 ///
-/// Backed by a `u128` bitmask where bit *i* corresponds to [`GroupId`]`(i)`.
-/// The set is value-semantic (`Copy`) and iterates in ascending rank order,
-/// which is exactly the C-DAG ancestor→descendant order FlexCast needs.
+/// Backed by a `[u64; 8]` bitmask where bit *i* (bit `i % 64` of word
+/// `i / 64`) corresponds to [`GroupId`]`(i)`. The set is value-semantic
+/// (`Copy`) and iterates in ascending rank order, which is exactly the
+/// C-DAG ancestor→descendant order FlexCast needs.
 ///
 /// # Examples
 ///
@@ -33,12 +38,51 @@ pub const MAX_GROUPS: usize = 128;
 /// let ranks: Vec<u16> = dst.iter().map(|g| g.rank()).collect();
 /// assert_eq!(ranks, vec![0, 2, 5]);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub struct DestSet(u128);
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DestSet([u64; WORDS]);
+
+// Wire format: a fixed 8-tuple of words, least-significant first (the
+// vendored serde predates const-generic array impls, so spelled out).
+impl Serialize for DestSet {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeTuple;
+        let mut t = s.serialize_tuple(WORDS)?;
+        for w in &self.0 {
+            t.serialize_element(w)?;
+        }
+        t.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for DestSet {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
+        struct WordsVisitor;
+        impl<'de> serde::de::Visitor<'de> for WordsVisitor {
+            type Value = DestSet;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{WORDS} destination-set words")
+            }
+            fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> std::result::Result<DestSet, A::Error> {
+                use serde::de::Error as _;
+                let mut words = [0u64; WORDS];
+                for w in words.iter_mut() {
+                    *w = seq
+                        .next_element()?
+                        .ok_or_else(|| A::Error::custom("truncated destination set"))?;
+                }
+                Ok(DestSet(words))
+            }
+        }
+        d.deserialize_tuple(WORDS, WordsVisitor)
+    }
+}
 
 impl DestSet {
     /// The empty destination set.
-    pub const EMPTY: DestSet = DestSet(0);
+    pub const EMPTY: DestSet = DestSet([0; WORDS]);
 
     /// Creates an empty destination set.
     #[inline]
@@ -61,13 +105,13 @@ impl DestSet {
     /// Panics if `n > MAX_GROUPS`.
     pub fn all(n: usize) -> Self {
         assert!(n <= MAX_GROUPS, "at most {MAX_GROUPS} groups supported");
-        if n == 0 {
-            Self::EMPTY
-        } else if n == MAX_GROUPS {
-            DestSet(u128::MAX)
-        } else {
-            DestSet((1u128 << n) - 1)
+        let mut words = [0u64; WORDS];
+        let (full, rem) = (n / 64, n % 64);
+        words[..full].fill(u64::MAX);
+        if rem > 0 {
+            words[full] = (1u64 << rem) - 1;
         }
+        DestSet(words)
     }
 
     /// Builds a destination set from raw ranks, validating the bound.
@@ -89,35 +133,46 @@ impl DestSet {
     /// Panics if the group rank is `>= MAX_GROUPS`.
     #[inline]
     pub fn insert(&mut self, g: GroupId) {
-        assert!(g.index() < MAX_GROUPS, "group rank out of range");
-        self.0 |= 1u128 << g.index();
+        let i = g.index();
+        assert!(i < MAX_GROUPS, "group rank out of range");
+        self.0[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Removes a group from the set (no-op if absent).
     #[inline]
     pub fn remove(&mut self, g: GroupId) {
-        if g.index() < MAX_GROUPS {
-            self.0 &= !(1u128 << g.index());
+        let i = g.index();
+        if i < MAX_GROUPS {
+            self.0[i / 64] &= !(1u64 << (i % 64));
         }
     }
 
     /// Tests membership.
     #[inline]
     pub fn contains(self, g: GroupId) -> bool {
-        g.index() < MAX_GROUPS && (self.0 >> g.index()) & 1 == 1
+        let i = g.index();
+        i < MAX_GROUPS && (self.0[i / 64] >> (i % 64)) & 1 == 1
     }
 
     /// Number of destinations. `len() == 1` means a *local* message,
     /// `len() > 1` a *global* message (paper §2.2).
     #[inline]
     pub fn len(self) -> usize {
-        self.0.count_ones() as usize
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True if the set has no destinations.
     #[inline]
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0 == [0; WORDS]
+    }
+
+    /// The raw bitmap words in ascending rank order — exactly the tuple
+    /// the wire encoding ships, so size accounting can walk them without
+    /// serializing.
+    #[inline]
+    pub fn words(self) -> impl Iterator<Item = u64> {
+        self.0.into_iter()
     }
 
     /// True for a *global* message (two or more destination groups).
@@ -130,85 +185,115 @@ impl DestSet {
     /// overlay (`m.lca()` in Algorithm 1).
     #[inline]
     pub fn lowest(self) -> Option<GroupId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(GroupId(self.0.trailing_zeros() as u16))
-        }
+        self.0
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, w)| GroupId((i * 64) as u16 + w.trailing_zeros() as u16))
     }
 
     /// The highest-ranked group in the set.
     #[inline]
     pub fn highest(self) -> Option<GroupId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(GroupId(127 - self.0.leading_zeros() as u16))
-        }
+        self.0
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, w)| GroupId((i * 64 + 63) as u16 - w.leading_zeros() as u16))
     }
 
     /// Set intersection.
     #[inline]
     pub fn intersect(self, other: DestSet) -> DestSet {
-        DestSet(self.0 & other.0)
+        let mut w = self.0;
+        for (a, b) in w.iter_mut().zip(other.0) {
+            *a &= b;
+        }
+        DestSet(w)
     }
 
     /// Set union.
     #[inline]
     pub fn union(self, other: DestSet) -> DestSet {
-        DestSet(self.0 | other.0)
+        let mut w = self.0;
+        for (a, b) in w.iter_mut().zip(other.0) {
+            *a |= b;
+        }
+        DestSet(w)
     }
 
     /// Set difference `self \ other`.
     #[inline]
     pub fn difference(self, other: DestSet) -> DestSet {
-        DestSet(self.0 & !other.0)
+        let mut w = self.0;
+        for (a, b) in w.iter_mut().zip(other.0) {
+            *a &= !b;
+        }
+        DestSet(w)
     }
 
     /// True if `self ⊆ other`.
     #[inline]
     pub fn is_subset(self, other: DestSet) -> bool {
-        self.0 & !other.0 == 0
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a & !b == 0)
     }
 
     /// Members strictly lower-ranked than `g` (the *ancestors* of `g` that
     /// are in this set, in C-DAG terminology).
     #[inline]
     pub fn below(self, g: GroupId) -> DestSet {
-        let mask = if g.index() == 0 {
-            0
-        } else {
-            (1u128 << g.index()) - 1
-        };
-        DestSet(self.0 & mask)
+        let i = g.index().min(MAX_GROUPS);
+        let (full, rem) = (i / 64, i % 64);
+        let mut w = self.0;
+        for (j, word) in w.iter_mut().enumerate() {
+            if j > full || (j == full && rem == 0) {
+                *word = 0;
+            } else if j == full {
+                *word &= (1u64 << rem) - 1;
+            }
+        }
+        DestSet(w)
     }
 
     /// Members strictly higher-ranked than `g` (the *descendants* of `g`
     /// that are in this set).
     #[inline]
     pub fn above(self, g: GroupId) -> DestSet {
-        let mask = if g.index() >= MAX_GROUPS - 1 {
-            0
-        } else {
-            u128::MAX << (g.index() + 1)
-        };
-        DestSet(self.0 & mask)
+        if g.index() >= MAX_GROUPS - 1 {
+            return DestSet::EMPTY;
+        }
+        let i = g.index() + 1;
+        let (full, rem) = (i / 64, i % 64);
+        let mut w = self.0;
+        for (j, word) in w.iter_mut().enumerate() {
+            if j < full {
+                *word = 0;
+            } else if j == full && rem > 0 {
+                *word &= u64::MAX << rem;
+            }
+        }
+        DestSet(w)
     }
 
     /// Iterates members in ascending rank order.
     pub fn iter(self) -> Iter {
-        Iter(self.0)
+        Iter {
+            words: self.0,
+            w: 0,
+        }
     }
 
-    /// Raw bit representation (stable across serialization).
+    /// Raw word representation, least-significant word first (stable
+    /// across serialization).
     #[inline]
-    pub fn bits(self) -> u128 {
+    pub fn bits(self) -> [u64; WORDS] {
         self.0
     }
 
-    /// Reconstructs a set from its raw bits.
+    /// Reconstructs a set from its raw words.
     #[inline]
-    pub fn from_bits(bits: u128) -> Self {
+    pub fn from_bits(bits: [u64; WORDS]) -> Self {
         DestSet(bits)
     }
 }
@@ -233,24 +318,34 @@ impl IntoIterator for DestSet {
 
 /// Ascending-rank iterator over a [`DestSet`].
 #[derive(Clone)]
-pub struct Iter(u128);
+pub struct Iter {
+    words: [u64; WORDS],
+    w: usize,
+}
 
 impl Iterator for Iter {
     type Item = GroupId;
 
     #[inline]
     fn next(&mut self) -> Option<GroupId> {
-        if self.0 == 0 {
-            None
-        } else {
-            let tz = self.0.trailing_zeros();
-            self.0 &= self.0 - 1;
-            Some(GroupId(tz as u16))
+        while self.w < WORDS {
+            let word = self.words[self.w];
+            if word == 0 {
+                self.w += 1;
+                continue;
+            }
+            let tz = word.trailing_zeros();
+            self.words[self.w] &= word - 1;
+            return Some(GroupId((self.w * 64) as u16 + tz as u16));
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.0.count_ones() as usize;
+        let n: usize = self.words[self.w..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
@@ -300,13 +395,13 @@ mod tests {
     fn lowest_is_the_lca() {
         assert_eq!(ds(&[5, 2, 9]).lowest(), Some(GroupId(2)));
         assert_eq!(ds(&[0]).lowest(), Some(GroupId(0)));
-        assert_eq!(ds(&[127]).lowest(), Some(GroupId(127)));
+        assert_eq!(ds(&[511]).lowest(), Some(GroupId(511)));
     }
 
     #[test]
     fn highest_member() {
         assert_eq!(ds(&[5, 2, 9]).highest(), Some(GroupId(9)));
-        assert_eq!(ds(&[127, 0]).highest(), Some(GroupId(127)));
+        assert_eq!(ds(&[511, 0]).highest(), Some(GroupId(511)));
     }
 
     #[test]
@@ -319,6 +414,8 @@ mod tests {
     fn all_builds_prefix_sets() {
         assert_eq!(DestSet::all(0), DestSet::EMPTY);
         assert_eq!(DestSet::all(3), ds(&[0, 1, 2]));
+        assert_eq!(DestSet::all(64), DestSet::try_from_ranks(0..64).unwrap());
+        assert_eq!(DestSet::all(200).len(), 200);
         assert_eq!(DestSet::all(MAX_GROUPS).len(), MAX_GROUPS);
     }
 
@@ -330,10 +427,10 @@ mod tests {
 
     #[test]
     fn try_from_ranks_validates() {
-        assert!(DestSet::try_from_ranks([0, 127]).is_ok());
+        assert!(DestSet::try_from_ranks([0, 511]).is_ok());
         assert!(matches!(
-            DestSet::try_from_ranks([128]),
-            Err(Error::GroupOutOfRange(128))
+            DestSet::try_from_ranks([512]),
+            Err(Error::GroupOutOfRange(512))
         ));
     }
 
@@ -343,13 +440,14 @@ mod tests {
         assert_eq!(s.below(GroupId(5)), ds(&[1, 3]));
         assert_eq!(s.above(GroupId(5)), ds(&[7]));
         assert_eq!(s.below(GroupId(0)), DestSet::EMPTY);
-        assert_eq!(s.above(GroupId(127)), DestSet::EMPTY);
-        assert_eq!(
-            s.below(GroupId(127)),
-            s.difference(ds(&[]))
-                .difference(DestSet::EMPTY)
-                .below(GroupId(127))
-        );
+        assert_eq!(s.above(GroupId(511)), DestSet::EMPTY);
+        // Splits that land on word boundaries (ranks 64/128) and straddle
+        // them are the cases a multi-word mask can get wrong.
+        let wide = ds(&[0, 63, 64, 65, 127, 128, 300, 511]);
+        assert_eq!(wide.below(GroupId(64)), ds(&[0, 63]));
+        assert_eq!(wide.above(GroupId(64)), ds(&[65, 127, 128, 300, 511]));
+        assert_eq!(wide.below(GroupId(128)), ds(&[0, 63, 64, 65, 127]));
+        assert_eq!(wide.above(GroupId(127)), ds(&[128, 300, 511]));
     }
 
     #[test]
@@ -361,14 +459,20 @@ mod tests {
         assert_eq!(a.difference(b), ds(&[1]));
         assert!(ds(&[2, 3]).is_subset(a));
         assert!(!a.is_subset(b));
+        // Cross-word algebra.
+        let c = ds(&[10, 70, 200]);
+        let d = ds(&[70, 200, 400]);
+        assert_eq!(c.intersect(d), ds(&[70, 200]));
+        assert_eq!(c.union(d), ds(&[10, 70, 200, 400]));
+        assert_eq!(c.difference(d), ds(&[10]));
     }
 
     #[test]
     fn iterates_in_ascending_rank_order() {
-        let s = ds(&[9, 0, 4, 100]);
+        let s = ds(&[9, 0, 4, 100, 450]);
         let order: Vec<u16> = s.iter().map(|g| g.rank()).collect();
-        assert_eq!(order, vec![0, 4, 9, 100]);
-        assert_eq!(s.iter().len(), 4);
+        assert_eq!(order, vec![0, 4, 9, 100, 450]);
+        assert_eq!(s.iter().len(), 5);
     }
 
     #[test]

@@ -26,6 +26,7 @@ mod varint;
 
 pub use de::{from_bytes, Deserializer};
 pub use ser::{encoded_len, to_bytes, Serializer};
+pub use varint::size_u128;
 
 use flexcast_types::Error;
 

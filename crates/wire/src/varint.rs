@@ -16,7 +16,10 @@ pub fn write_u128(out: &mut Vec<u8>, mut v: u128) {
     }
 }
 
-/// Number of bytes [`write_u128`] would append.
+/// Number of bytes the LEB128 encoding of `v` occupies — what
+/// `write_u128` would append. Public so size accounting (e.g.
+/// `Packet::encoded_size` walks) can mirror the codec without
+/// serializing.
 #[inline]
 pub fn size_u128(v: u128) -> usize {
     if v == 0 {

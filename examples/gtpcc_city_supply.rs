@@ -31,6 +31,7 @@ fn main() {
         server_processing_ms: 20.0,
         advert_stride: None,
         telemetry: Telemetry::disabled(),
+        shards: 0,
     };
     println!("running gTPC-C (95% locality) over FlexCast O1 on 12 AWS regions…\n");
     let result = run(&cfg);

@@ -32,6 +32,7 @@ fn experiment(order: CDagOrder) -> ExperimentConfig {
         server_processing_ms: 20.0,
         advert_stride: None,
         telemetry: Telemetry::disabled(),
+        shards: 0,
     }
 }
 

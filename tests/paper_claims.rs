@@ -28,6 +28,7 @@ fn latency_cfg(protocol: ProtocolKind, locality: f64) -> ExperimentConfig {
         server_processing_ms: 20.0,
         advert_stride: None,
         telemetry: Telemetry::disabled(),
+        shards: 0,
     }
 }
 
@@ -239,6 +240,7 @@ fn flexcast_histories_cost_bytes() {
             server_processing_ms: 20.0,
             advert_stride: None,
             telemetry: Telemetry::disabled(),
+            shards: 0,
         };
         let r = run(&cfg);
         r.check.assert_ok();

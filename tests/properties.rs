@@ -27,6 +27,7 @@ fn base_config(protocol: ProtocolKind, seed: u64, locality: f64, jitter: f64) ->
         server_processing_ms: 10.0,
         advert_stride: Some(16),
         telemetry: Telemetry::disabled(),
+        shards: 0,
     }
 }
 
